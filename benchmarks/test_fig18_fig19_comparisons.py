@@ -1,0 +1,45 @@
+"""Benchmarks regenerating Figures 18 and 19: SNN-vs-ANN and dense baselines."""
+
+from repro.experiments import format_fig18, format_fig19, run_fig18, run_fig19
+
+from conftest import run_once
+
+
+def test_fig18_snn_vs_ann(benchmark):
+    """Figure 18: the dual-sparse SNN on LoAS beats the dual-sparse ANN baselines."""
+    data = run_once(benchmark, run_fig18, network="vgg16", scale=1.0, seed=1)
+    loas = data["LoAS (SNN)"]
+    sparten_ann = data["SparTen-ANN (ANN)"]
+    gamma_ann = data["Gamma-ANN (ANN)"]
+    # Paper: ~2.5x more efficient than SparTen-ANN; our model reproduces the
+    # direction with a smaller margin.
+    assert sparten_ann["normalized_energy"] > 1.0
+    # Paper: ~1.2x vs Gamma-ANN -- a near tie.  Our FiberCache model
+    # undercounts Gamma's on-chip traffic in the ANN setting, so the
+    # comparison lands at rough parity (see EXPERIMENTS.md).
+    assert gamma_ann["normalized_energy"] > 0.6
+    # The SNN's unary, packed activations move less data than 8-bit ANN
+    # activations on the inner-product baseline; Gamma-ANN's Gustavson
+    # dataflow keeps its DRAM below LoAS, as in the paper.
+    assert sparten_ann["normalized_dram"] > 1.0
+    assert gamma_ann["normalized_dram"] < 1.0
+    # A large share of energy goes to data movement for every design.
+    assert loas["data_movement_fraction"] > 0.5
+    print("\n" + format_fig18(scale=1.0))
+
+
+def test_fig19_dense_snn_baselines(benchmark):
+    """Figure 19: LoAS holds a large advantage over dense PTB and Stellar."""
+    data = run_once(benchmark, run_fig19, network="vgg16", scale=0.5, seed=1)
+    loas = data["LoAS"]
+    ptb = data["PTB"]
+    stellar = data["Stellar"]
+    # LoAS speedup over PTB is tens of x; Stellar sits in between.
+    assert loas["speedup_vs_ptb"] > 10.0
+    assert 1.0 < stellar["speedup_vs_ptb"] < loas["speedup_vs_ptb"]
+    # Dense designs pay more energy and traffic.
+    assert ptb["normalized_energy"] > 2.0
+    assert stellar["normalized_energy"] > 1.5
+    assert ptb["normalized_dram"] > 1.0
+    assert ptb["normalized_sram"] > 1.0
+    print("\n" + format_fig19(scale=0.5))

@@ -1,0 +1,69 @@
+"""Full-network comparison: regenerate the Figure 12 / 13 sweep for one network.
+
+Run with::
+
+    python examples/full_network_comparison.py [alexnet|vgg16|resnet19] [scale]
+
+The script simulates the chosen Table II network on LoAS (with and without
+the fine-tuned preprocessing) and on the SparTen / GoSPA / Gamma "-SNN"
+baselines, printing speedups, energy efficiency and memory traffic exactly as
+the paper's overall-performance figures report them.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import LoASSimulator, get_network_workload
+from repro.baselines import GammaSNN, GoSPASNN, SparTenSNN
+from repro.metrics import format_table
+
+
+def main() -> None:
+    network_name = sys.argv[1] if len(sys.argv) > 1 else "vgg16"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 1.0
+    network = get_network_workload(network_name)
+    if scale != 1.0:
+        network = network.scaled(scale)
+    print(f"Simulating {network_name} ({network.num_layers} layers, scale={scale}) ...\n")
+
+    simulators = {
+        "SparTen-SNN": SparTenSNN(),
+        "GoSPA-SNN": GoSPASNN(),
+        "Gamma-SNN": GammaSNN(),
+        "LoAS": LoASSimulator(),
+    }
+    results = {
+        name: sim.simulate_network(network, rng=np.random.default_rng(1))
+        for name, sim in simulators.items()
+    }
+    results["LoAS-FT"] = LoASSimulator().simulate_network(
+        network, rng=np.random.default_rng(1), finetuned=True, preprocess=True
+    )
+
+    reference = results["SparTen-SNN"]
+    rows = []
+    for name, result in results.items():
+        rows.append(
+            [
+                name,
+                f"{reference.cycles / result.cycles:.2f}x",
+                f"{reference.energy_pj / result.energy_pj:.2f}x",
+                f"{result.dram_bytes / 1e6:.2f}",
+                f"{result.sram_bytes / 1e6:.1f}",
+                f"{result.runtime_seconds() * 1e3:.3f}",
+            ]
+        )
+    print(
+        format_table(
+            ["Accelerator", "Speedup", "Energy eff.", "DRAM (MB)", "SRAM (MB)", "Runtime (ms)"],
+            rows,
+            title=f"{network_name}: normalised to SparTen-SNN (Figure 12 / 13 style)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` falls back to the legacy
+``setup.py develop`` path through this file; all project metadata lives in
+``pyproject.toml``.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,53 @@
+"""Reproduction of *LoAS: Fully Temporal-Parallel Dataflow for Dual-Sparse
+Spiking Neural Networks* (MICRO 2024).
+
+The package is organised bottom-up:
+
+* :mod:`repro.sparse` -- compression formats (bitmask fibers, the
+  FTP-friendly packed-temporal spike format, CSR/CSC),
+* :mod:`repro.snn` -- LIF neurons, the functional spMspM + LIF reference,
+  Table II workloads, a toy surrogate-gradient trainer, LTH pruning and the
+  fine-tuned silent-neuron preprocessing,
+* :mod:`repro.arch` -- energy/area models, memory hierarchy, prefix-sum
+  circuits, crossbar and systolic-array substrates,
+* :mod:`repro.dataflow` -- loop-nest analysis of spMspM dataflows with a
+  temporal dimension,
+* :mod:`repro.core` -- the FTP dataflow, the FTP-friendly inner join, TPPE,
+  P-LIF and the LoAS accelerator simulator,
+* :mod:`repro.baselines` -- SparTen/GoSPA/Gamma "-SNN" baselines, the ANN
+  originals, and the dense PTB / Stellar baselines,
+* :mod:`repro.experiments` -- one module per paper table / figure.
+
+Quick start::
+
+    from repro import LoASSimulator, get_layer_workload
+
+    sim = LoASSimulator()
+    result = sim.simulate_workload(get_layer_workload("V-L8"))
+    print(result.cycles, result.dram_bytes, result.energy_pj)
+"""
+
+from .core import LoASConfig, LoASSimulator, ftp_layer
+from .snn import (
+    LIFParameters,
+    get_layer_workload,
+    get_network_workload,
+    lif_fire,
+    spmspm_reference,
+)
+from .sparse import PackedSpikeMatrix
+
+__all__ = [
+    "LIFParameters",
+    "LoASConfig",
+    "LoASSimulator",
+    "PackedSpikeMatrix",
+    "__version__",
+    "ftp_layer",
+    "get_layer_workload",
+    "get_network_workload",
+    "lif_fire",
+    "spmspm_reference",
+]
+
+__version__ = "0.1.0"

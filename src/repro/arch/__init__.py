@@ -1,0 +1,48 @@
+"""Hardware substrates shared by LoAS and every baseline accelerator model.
+
+Contains the energy constants and ledger, the Table IV area / power model,
+the memory hierarchy (traffic counters, HBM, banked SRAM, fiber cache), the
+fast / laggy prefix-sum circuits, the distribution crossbar and the systolic
+array used by the dense baselines.
+"""
+
+from .area import (
+    ComponentCost,
+    SYSTEM_COMPONENTS,
+    TPPE_COMPONENTS,
+    loas_system_cost,
+    system_power_breakdown,
+    tppe_cost,
+    tppe_power_breakdown,
+    tppe_scaling,
+)
+from .cache import FiberCache
+from .crossbar import Crossbar
+from .energy import EnergyAccount, EnergyModel
+from .memory import CacheSimulator, DRAMModel, SRAMModel, TrafficCounter
+from .prefix_sum import FastPrefixSum, LaggyPrefixSum, exclusive_prefix_sum
+from .systolic import SystolicArray, SystolicRunEstimate
+
+__all__ = [
+    "CacheSimulator",
+    "ComponentCost",
+    "Crossbar",
+    "DRAMModel",
+    "EnergyAccount",
+    "EnergyModel",
+    "FastPrefixSum",
+    "FiberCache",
+    "LaggyPrefixSum",
+    "SRAMModel",
+    "SYSTEM_COMPONENTS",
+    "SystolicArray",
+    "SystolicRunEstimate",
+    "TPPE_COMPONENTS",
+    "TrafficCounter",
+    "exclusive_prefix_sum",
+    "loas_system_cost",
+    "system_power_breakdown",
+    "tppe_cost",
+    "tppe_power_breakdown",
+    "tppe_scaling",
+]

@@ -1,0 +1,132 @@
+"""Area / power model of LoAS (Table IV, Figure 15, Figure 16a).
+
+The paper synthesises the key components in RTL (32 nm, 800 MHz) and reports
+the component-level area and power in Table IV.  Re-running synthesis is out
+of scope for a Python reproduction, so this module encodes the published
+component costs directly and exposes:
+
+* the system-level and TPPE-level breakdowns (Table IV / Figure 15), and
+* an analytical scaling model of the TPPE with the number of timesteps
+  (Figure 16a): only the correction accumulators and the packed-spike input
+  buffer grow with ``T``; everything else (bitmask buffers, prefix-sum
+  circuits, control) is timestep-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ComponentCost",
+    "TPPE_COMPONENTS",
+    "SYSTEM_COMPONENTS",
+    "tppe_cost",
+    "loas_system_cost",
+    "tppe_scaling",
+    "system_power_breakdown",
+    "tppe_power_breakdown",
+]
+
+
+@dataclass(frozen=True)
+class ComponentCost:
+    """Area (mm^2) and power (mW) of one hardware component."""
+
+    area_mm2: float
+    power_mw: float
+
+    def scaled(self, factor: float) -> "ComponentCost":
+        """Return the cost multiplied by ``factor`` (e.g. instance count)."""
+        return ComponentCost(self.area_mm2 * factor, self.power_mw * factor)
+
+    def __add__(self, other: "ComponentCost") -> "ComponentCost":
+        return ComponentCost(self.area_mm2 + other.area_mm2, self.power_mw + other.power_mw)
+
+
+#: Per-TPPE component costs at the default configuration (T = 4), Table IV.
+TPPE_COMPONENTS: dict[str, ComponentCost] = {
+    "accumulators": ComponentCost(2e-3, 0.16),
+    "fast_prefix": ComponentCost(0.04, 1.46),
+    "laggy_prefix": ComponentCost(5e-3, 0.32),
+    "others": ComponentCost(0.013, 0.88),
+}
+
+#: System-level component costs at the default configuration, Table IV.
+SYSTEM_COMPONENTS: dict[str, ComponentCost] = {
+    "tppes": ComponentCost(0.96, 45.1),
+    "plifs": ComponentCost(0.02, 1.2),
+    "global_cache": ComponentCost(0.80, 124.5),
+    "others": ComponentCost(0.30, 18.1),
+}
+
+#: Fraction of the TPPE cost that scales linearly with the number of
+#: timesteps at the reference point T = 4 (Figure 16a): the correction
+#: accumulators and the packed-spike input buffer.
+_TIMESTEP_SCALED_AREA_FRACTION = 0.125
+_TIMESTEP_SCALED_POWER_FRACTION = 0.084
+_REFERENCE_TIMESTEPS = 4
+
+
+def tppe_cost(timesteps: int = 4) -> ComponentCost:
+    """Area / power of one TPPE configured for ``timesteps`` timesteps.
+
+    Follows the Figure 16a model: a fixed portion plus a portion linear in
+    ``T``.  At ``T = 4`` this reproduces the Table IV TPPE totals; at
+    ``T = 16`` the area grows by ~1.37x and power by ~1.25x as reported.
+    """
+    if timesteps < 1:
+        raise ValueError("timesteps must be at least 1")
+    base = sum(TPPE_COMPONENTS.values(), ComponentCost(0.0, 0.0))
+    area_per_t = base.area_mm2 * _TIMESTEP_SCALED_AREA_FRACTION / _REFERENCE_TIMESTEPS
+    power_per_t = base.power_mw * _TIMESTEP_SCALED_POWER_FRACTION / _REFERENCE_TIMESTEPS
+    fixed_area = base.area_mm2 * (1.0 - _TIMESTEP_SCALED_AREA_FRACTION)
+    fixed_power = base.power_mw * (1.0 - _TIMESTEP_SCALED_POWER_FRACTION)
+    return ComponentCost(fixed_area + area_per_t * timesteps, fixed_power + power_per_t * timesteps)
+
+
+def tppe_scaling(timesteps: int, reference_timesteps: int = 4) -> tuple[float, float]:
+    """Area and power of a TPPE at ``timesteps`` relative to the reference."""
+    current = tppe_cost(timesteps)
+    reference = tppe_cost(reference_timesteps)
+    return current.area_mm2 / reference.area_mm2, current.power_mw / reference.power_mw
+
+
+def loas_system_cost(num_tppes: int = 16, timesteps: int = 4) -> dict[str, ComponentCost]:
+    """System-level breakdown of LoAS (Table IV left) plus the total.
+
+    The global cache and miscellaneous logic are configuration-independent in
+    the published table; the TPPE and P-LIF groups scale with instance count
+    and timesteps.
+    """
+    per_tppe = tppe_cost(timesteps)
+    reference_tppe = tppe_cost(_REFERENCE_TIMESTEPS)
+    tppe_scale = num_tppes / 16 * (per_tppe.area_mm2 / reference_tppe.area_mm2)
+    tppe_power_scale = num_tppes / 16 * (per_tppe.power_mw / reference_tppe.power_mw)
+    breakdown = {
+        "tppes": ComponentCost(
+            SYSTEM_COMPONENTS["tppes"].area_mm2 * tppe_scale,
+            SYSTEM_COMPONENTS["tppes"].power_mw * tppe_power_scale,
+        ),
+        "plifs": SYSTEM_COMPONENTS["plifs"].scaled(num_tppes / 16 * timesteps / _REFERENCE_TIMESTEPS),
+        "global_cache": SYSTEM_COMPONENTS["global_cache"],
+        "others": SYSTEM_COMPONENTS["others"],
+    }
+    breakdown["total"] = sum(breakdown.values(), ComponentCost(0.0, 0.0))
+    return breakdown
+
+
+def system_power_breakdown(num_tppes: int = 16, timesteps: int = 4) -> dict[str, float]:
+    """Fraction of on-chip power per system component (Figure 15 left)."""
+    breakdown = loas_system_cost(num_tppes, timesteps)
+    total = breakdown["total"].power_mw
+    return {
+        name: cost.power_mw / total
+        for name, cost in breakdown.items()
+        if name != "total"
+    }
+
+
+def tppe_power_breakdown() -> dict[str, float]:
+    """Fraction of TPPE power per component (Figure 15 right)."""
+    total = sum(c.power_mw for c in TPPE_COMPONENTS.values())
+    return {name: cost.power_mw / total for name, cost in TPPE_COMPONENTS.items()}

@@ -1,0 +1,82 @@
+"""FiberCache: the banked, fiber-granular global SRAM used by LoAS and Gamma.
+
+LoAS adopts a FiberCache-style unified global buffer (Section IV-D): each
+cache line holds the bitmask + pointer of a fiber followed by as much of the
+fiber's payload as fits, and the cache is highly banked so every TPPE can
+fetch its fiber concurrently.  The model here layers fiber bookkeeping on top
+of the generic :class:`~repro.arch.memory.CacheSimulator` and produces the
+three quantities the experiments need: SRAM traffic, DRAM (miss) traffic and
+the miss rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .memory import CacheSimulator, TrafficCounter
+
+__all__ = ["FiberCache"]
+
+
+class FiberCache:
+    """A fiber-granular cache front-end over the global SRAM.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Usable capacity of the global SRAM.
+    num_banks:
+        Number of banks, used as the set count of the underlying cache model.
+    """
+
+    def __init__(self, capacity_bytes: int = 256 * 1024, num_banks: int = 16):
+        self._cache = CacheSimulator(capacity_bytes, num_sets=num_banks)
+        self.sram_traffic = TrafficCounter()
+        self.dram_traffic = TrafficCounter()
+
+    def access_fiber(self, matrix: str, index: int, size_bytes: float, category: str | None = None) -> bool:
+        """Read one fiber through the cache.
+
+        Every access reads ``size_bytes`` from SRAM (the consumer always
+        streams the fiber out of the global buffer); on a miss the same bytes
+        are additionally fetched from DRAM and installed.  Returns ``True``
+        on a hit.
+
+        Parameters
+        ----------
+        matrix:
+            Logical matrix the fiber belongs to (e.g. ``"A"`` or ``"B"``);
+            also used as the default traffic category.
+        index:
+            Fiber index within the matrix.
+        size_bytes:
+            Compressed size of the fiber.
+        category:
+            Traffic category to record under; defaults to ``matrix``.
+        """
+        category = matrix if category is None else category
+        hit = self._cache.access((matrix, index), size_bytes)
+        self.sram_traffic.add(category, size_bytes)
+        if not hit:
+            self.dram_traffic.add(category, size_bytes)
+        return hit
+
+    def write_back(self, size_bytes: float, category: str = "output") -> None:
+        """Record a write of produced data through the cache to DRAM."""
+        self.sram_traffic.add(category, size_bytes)
+        self.dram_traffic.add(category, size_bytes)
+
+    @property
+    def miss_rate(self) -> float:
+        """Miss rate over all fiber accesses."""
+        return self._cache.miss_rate
+
+    @property
+    def hits(self) -> int:
+        """Number of fiber hits."""
+        return self._cache.hits
+
+    @property
+    def misses(self) -> int:
+        """Number of fiber misses."""
+        return self._cache.misses

@@ -1,0 +1,61 @@
+"""Swizzle-switch crossbar model used to distribute fibers to the TPPEs.
+
+LoAS uses two 16x16 swizzle-switch-based crossbars (Table III) to broadcast
+weight fibers and to route spike fibers from the global cache banks to the
+TPPEs.  For the analytical simulator only the transfer energy and the
+broadcast fan-out matter, so the model is intentionally small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Crossbar"]
+
+
+@dataclass(frozen=True)
+class Crossbar:
+    """A simple input-to-output crossbar.
+
+    Attributes
+    ----------
+    num_inputs:
+        Number of input ports (cache banks).
+    num_outputs:
+        Number of output ports (TPPEs).
+    energy_per_byte:
+        Transfer energy per byte crossing the switch, in picojoules.
+    bytes_per_cycle:
+        Aggregate bytes the crossbar can move per cycle.
+    """
+
+    num_inputs: int = 16
+    num_outputs: int = 16
+    energy_per_byte: float = 0.2
+    bytes_per_cycle: float = 256.0
+
+    def unicast_energy(self, num_bytes: float) -> float:
+        """Energy (pJ) to move ``num_bytes`` from one input to one output."""
+        if num_bytes < 0:
+            raise ValueError("byte count must be non-negative")
+        return num_bytes * self.energy_per_byte
+
+    def broadcast_energy(self, num_bytes: float, fanout: int | None = None) -> float:
+        """Energy (pJ) to broadcast ``num_bytes`` to ``fanout`` outputs.
+
+        Broadcasting on a swizzle switch reuses the same horizontal wire, so
+        the cost grows sub-linearly with fan-out; a square-root law keeps the
+        model between unicast and full replication.
+        """
+        if num_bytes < 0:
+            raise ValueError("byte count must be non-negative")
+        fanout = self.num_outputs if fanout is None else fanout
+        if fanout < 1:
+            raise ValueError("fanout must be at least 1")
+        return num_bytes * self.energy_per_byte * float(fanout) ** 0.5
+
+    def cycles_for_bytes(self, num_bytes: float) -> float:
+        """Minimum cycles to move ``num_bytes`` through the crossbar."""
+        if num_bytes < 0:
+            raise ValueError("byte count must be non-negative")
+        return num_bytes / self.bytes_per_cycle

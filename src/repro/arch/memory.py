@@ -1,0 +1,194 @@
+"""Memory hierarchy models: traffic counters, DRAM (HBM) and banked SRAM.
+
+The accelerator simulators account for memory behaviour at two levels:
+
+* **Traffic accounting** -- every simulator records the bytes it moves to and
+  from off-chip DRAM and the on-chip global SRAM, broken down by category
+  (input spikes, weights, partial sums, outputs, compressed-format
+  metadata).  :class:`TrafficCounter` holds those ledgers.
+* **Timing / stalls** -- :class:`DRAMModel` converts off-chip bytes into the
+  minimum number of cycles the memory system needs at the configured
+  bandwidth; the compute model takes the max of compute and memory cycles
+  (a roofline-style bound, which is how the original analytical simulator
+  treats bandwidth).
+* **Cache behaviour** -- :class:`CacheSimulator` is a set-associative LRU
+  cache operating at fiber granularity; it produces the hit / miss statistics
+  behind the "normalized SRAM miss rate" comparison of Figure 14.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+__all__ = ["TrafficCounter", "DRAMModel", "SRAMModel", "CacheSimulator"]
+
+
+@dataclass
+class TrafficCounter:
+    """Byte counts keyed by traffic category."""
+
+    entries: dict[str, float] = field(default_factory=dict)
+
+    def add(self, category: str, num_bytes: float) -> None:
+        """Record ``num_bytes`` of traffic under ``category``."""
+        if num_bytes < 0:
+            raise ValueError("traffic must be non-negative")
+        self.entries[category] = self.entries.get(category, 0.0) + num_bytes
+
+    def total(self) -> float:
+        """Total bytes across all categories."""
+        return float(sum(self.entries.values()))
+
+    def get(self, category: str) -> float:
+        """Bytes recorded under ``category`` (0 when absent)."""
+        return self.entries.get(category, 0.0)
+
+    def as_dict(self) -> dict[str, float]:
+        """Copy of the per-category byte counts."""
+        return dict(self.entries)
+
+    def merged_with(self, other: "TrafficCounter") -> "TrafficCounter":
+        """Return a new counter with the sum of both counters."""
+        merged = TrafficCounter(dict(self.entries))
+        for category, value in other.entries.items():
+            merged.add(category, value)
+        return merged
+
+
+@dataclass(frozen=True)
+class DRAMModel:
+    """Off-chip memory (HBM) bandwidth and energy model.
+
+    Attributes
+    ----------
+    bandwidth_gbps:
+        Peak bandwidth in gigabytes per second (the paper uses a 128 GB/s
+        HBM module).
+    clock_ghz:
+        Accelerator clock in GHz (0.8 GHz in the paper), used to convert
+        bandwidth into bytes per cycle.
+    """
+
+    bandwidth_gbps: float = 128.0
+    clock_ghz: float = 0.8
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        """Peak deliverable bytes per accelerator clock cycle."""
+        return self.bandwidth_gbps / self.clock_ghz
+
+    def cycles_for_bytes(self, num_bytes: float) -> float:
+        """Minimum cycles needed to transfer ``num_bytes`` at peak bandwidth."""
+        if num_bytes < 0:
+            raise ValueError("byte count must be non-negative")
+        if self.bytes_per_cycle == 0:
+            return float("inf") if num_bytes else 0.0
+        return num_bytes / self.bytes_per_cycle
+
+
+@dataclass(frozen=True)
+class SRAMModel:
+    """Banked global SRAM: capacity and per-cycle service rate.
+
+    Attributes
+    ----------
+    capacity_bytes:
+        Total SRAM capacity (256 KB in the paper, double buffered).
+    num_banks:
+        Number of independently accessible banks (16 in the paper).
+    bytes_per_bank_per_cycle:
+        Bytes each bank can deliver per cycle (a 128-bit port by default).
+    """
+
+    capacity_bytes: int = 256 * 1024
+    num_banks: int = 16
+    bytes_per_bank_per_cycle: float = 16.0
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        """Aggregate on-chip bandwidth in bytes per cycle."""
+        return self.num_banks * self.bytes_per_bank_per_cycle
+
+    def cycles_for_bytes(self, num_bytes: float) -> float:
+        """Minimum cycles needed to serve ``num_bytes`` from SRAM."""
+        if num_bytes < 0:
+            raise ValueError("byte count must be non-negative")
+        return num_bytes / self.bytes_per_cycle
+
+    def fits(self, working_set_bytes: float) -> bool:
+        """Whether a working set fits entirely in the SRAM."""
+        return working_set_bytes <= self.capacity_bytes
+
+
+class CacheSimulator:
+    """A set-associative LRU cache operating on arbitrary block keys.
+
+    The simulators access the cache at *fiber* granularity: each block key is
+    a ``(matrix, index)`` tuple and carries its compressed size in bytes.
+    Blocks larger than one cache line simply occupy multiple lines' worth of
+    capacity; the model tracks capacity per set rather than individual lines,
+    which is accurate enough to reproduce relative miss-rate orderings.
+    """
+
+    def __init__(self, capacity_bytes: int, num_sets: int = 16):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        if num_sets <= 0:
+            raise ValueError("num_sets must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.num_sets = num_sets
+        self.set_capacity = capacity_bytes / num_sets
+        self._sets: list[OrderedDict] = [OrderedDict() for _ in range(num_sets)]
+        self._set_usage = [0.0] * num_sets
+        self.hits = 0
+        self.misses = 0
+        self.bytes_from_dram = 0.0
+
+    def _set_index(self, key) -> int:
+        return hash(key) % self.num_sets
+
+    def access(self, key, size_bytes: float) -> bool:
+        """Access block ``key`` of ``size_bytes``; returns ``True`` on a hit.
+
+        On a miss the block is installed, evicting least-recently-used blocks
+        from the same set until it fits.
+        """
+        if size_bytes < 0:
+            raise ValueError("block size must be non-negative")
+        index = self._set_index(key)
+        cache_set = self._sets[index]
+        if key in cache_set:
+            cache_set.move_to_end(key)
+            self.hits += 1
+            return True
+
+        self.misses += 1
+        self.bytes_from_dram += size_bytes
+        # Evict until the new block fits (blocks larger than a whole set are
+        # streamed and never resident).
+        if size_bytes <= self.set_capacity:
+            while self._set_usage[index] + size_bytes > self.set_capacity and cache_set:
+                _, evicted_size = cache_set.popitem(last=False)
+                self._set_usage[index] -= evicted_size
+            cache_set[key] = size_bytes
+            self._set_usage[index] += size_bytes
+        return False
+
+    @property
+    def accesses(self) -> int:
+        """Total number of accesses observed."""
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Miss rate over all accesses (0 when no accesses were made)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def reset_statistics(self) -> None:
+        """Clear hit / miss counters but keep the cache contents."""
+        self.hits = 0
+        self.misses = 0
+        self.bytes_from_dram = 0.0

@@ -1,0 +1,94 @@
+"""Prefix-sum circuit models: the fast tree circuit and the laggy adder chain.
+
+The inner-join mechanism converts bitmask match positions into payload
+offsets with prefix sums.  SparTen pays for two *fast* single-cycle tree
+circuits; LoAS keeps one fast circuit (for the weight fiber, whose payload
+must be consumed at full rate) and replaces the other with a *laggy* circuit
+built from a small group of adders that takes several cycles but costs a
+fraction of the area and power (Section IV-C, Figure 9).
+
+Both circuits are modelled functionally (they really compute offsets) plus a
+latency attribute used by the cycle model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["exclusive_prefix_sum", "FastPrefixSum", "LaggyPrefixSum"]
+
+
+def exclusive_prefix_sum(bitmask: np.ndarray) -> np.ndarray:
+    """Exclusive prefix sum of a boolean bitmask.
+
+    ``result[i]`` is the number of set bits strictly before position ``i`` --
+    exactly the payload offset of the element stored at position ``i`` in a
+    bitmask-compressed fiber.
+    """
+    bitmask = np.asarray(bitmask, dtype=np.int64)
+    return np.concatenate(([0], np.cumsum(bitmask)[:-1]))
+
+
+@dataclass(frozen=True)
+class FastPrefixSum:
+    """Single-cycle tree prefix-sum circuit over a fixed-width bitmask chunk.
+
+    Attributes
+    ----------
+    width:
+        Number of bitmask bits processed per invocation (128 in the paper).
+    latency_cycles:
+        Cycles per invocation (1 for the fast circuit).
+    """
+
+    width: int = 128
+    latency_cycles: int = 1
+
+    def offsets(self, bitmask: np.ndarray) -> np.ndarray:
+        """Payload offsets for every position of ``bitmask``."""
+        return exclusive_prefix_sum(bitmask)
+
+    def invocations(self, bitmask_length: int) -> int:
+        """Number of chunk invocations needed to cover ``bitmask_length`` bits."""
+        if bitmask_length < 0:
+            raise ValueError("bitmask length must be non-negative")
+        return -(-bitmask_length // self.width)
+
+    def cycles(self, bitmask_length: int) -> int:
+        """Total cycles to process a bitmask of ``bitmask_length`` bits."""
+        return self.invocations(bitmask_length) * self.latency_cycles
+
+
+@dataclass(frozen=True)
+class LaggyPrefixSum:
+    """Iterative adder-group prefix-sum circuit (the "laggy" circuit).
+
+    A group of ``num_adders`` adders walks the bitmask chunk sequentially, so
+    one chunk of ``width`` bits takes ``width / num_adders`` cycles
+    (8 cycles for the paper's 128-bit chunk and 16 adders).  The result is
+    identical to the fast circuit -- only the latency differs.
+    """
+
+    width: int = 128
+    num_adders: int = 16
+
+    def offsets(self, bitmask: np.ndarray) -> np.ndarray:
+        """Payload offsets for every position of ``bitmask``."""
+        return exclusive_prefix_sum(bitmask)
+
+    @property
+    def latency_cycles(self) -> int:
+        """Cycles needed to produce the offsets of one chunk."""
+        return -(-self.width // self.num_adders)
+
+    def invocations(self, bitmask_length: int) -> int:
+        """Number of chunk invocations needed to cover ``bitmask_length`` bits."""
+        if bitmask_length < 0:
+            raise ValueError("bitmask length must be non-negative")
+        return -(-bitmask_length // self.width)
+
+    def cycles(self, bitmask_length: int) -> int:
+        """Total cycles to process a bitmask of ``bitmask_length`` bits."""
+        return self.invocations(bitmask_length) * self.latency_cycles

@@ -1,0 +1,42 @@
+"""Capability matrix of the compared accelerators (Table I of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AcceleratorCapabilities", "TABLE1_CAPABILITIES"]
+
+
+@dataclass(frozen=True)
+class AcceleratorCapabilities:
+    """Qualitative capabilities of one SNN accelerator (one Table I row).
+
+    Attributes
+    ----------
+    name:
+        Accelerator name.
+    spike_sparsity:
+        Exploits sparsity in the input spikes.
+    weight_sparsity:
+        Exploits sparsity in the weights.
+    parallelism:
+        Parallelism support: ``"S"`` (spatial only), ``"S+partial-T"`` or
+        ``"S+fully-T"``.
+    neuron_model:
+        Neuron model supported (``"LIF"`` or ``"FS"``).
+    """
+
+    name: str
+    spike_sparsity: bool
+    weight_sparsity: bool
+    parallelism: str
+    neuron_model: str
+
+
+TABLE1_CAPABILITIES: dict[str, AcceleratorCapabilities] = {
+    "SpinalFlow": AcceleratorCapabilities("SpinalFlow", True, False, "S", "LIF"),
+    "PTB": AcceleratorCapabilities("PTB", True, False, "S+partial-T", "LIF"),
+    "Stellar": AcceleratorCapabilities("Stellar", True, False, "S+fully-T", "FS"),
+    "LoAS": AcceleratorCapabilities("LoAS", True, True, "S+fully-T", "LIF"),
+}
+"""Capability rows exactly as published in Table I."""

@@ -1,0 +1,148 @@
+"""Shared helpers for the baseline accelerator models.
+
+The baselines in the paper are "-SNN" variants of published ANN spMspM
+accelerators: the original design is kept (dataflow, compression format,
+join / merge machinery) and the SNN's timestep loop is naively placed at the
+innermost position and processed *sequentially*.  These helpers hold the
+quantities several of those models need: compressed-format sizes, per-layer
+match statistics and the simple capacity-based refetch estimator used when a
+working set exceeds the global SRAM.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "coordinate_bits",
+    "csr_bytes",
+    "bitmask_fiber_bytes",
+    "streaming_refetch_factor",
+    "LayerStatistics",
+    "collect_layer_statistics",
+]
+
+
+def coordinate_bits(dimension: int) -> int:
+    """Bits needed to address one coordinate along ``dimension``."""
+    if dimension <= 1:
+        return 1
+    return int(math.ceil(math.log2(dimension)))
+
+
+def csr_bytes(nnz: float, dimension: int, num_fibers: int, value_bits: int, pointer_bits: int = 32) -> float:
+    """Compressed footprint (bytes) of a CSR/CSC matrix with ``nnz`` non-zeros."""
+    bits = nnz * (value_bits + coordinate_bits(dimension)) + (num_fibers + 1) * pointer_bits
+    return bits / 8.0
+
+
+def bitmask_fiber_bytes(fiber_length: int, nnz: float, num_fibers: int, value_bits: int, pointer_bits: int = 32) -> float:
+    """Compressed footprint (bytes) of a bitmask-fiber matrix."""
+    bits = num_fibers * (fiber_length + pointer_bits) + nnz * value_bits
+    return bits / 8.0
+
+
+def streaming_refetch_factor(operand_bytes: float, resident_bytes: float, capacity_bytes: float, passes: int) -> float:
+    """Off-chip refetch factor of an operand streamed ``passes`` times.
+
+    If the operand fits in the SRAM capacity left after the other resident
+    data, it is fetched from DRAM once; otherwise the portion that does not
+    fit must be re-fetched on every pass.  The factor interpolates linearly
+    between those extremes.
+    """
+    if operand_bytes <= 0:
+        return 1.0
+    if passes <= 1:
+        return 1.0
+    leftover = max(0.0, capacity_bytes - resident_bytes)
+    missing_fraction = max(0.0, 1.0 - leftover / operand_bytes)
+    return 1.0 + (passes - 1) * missing_fraction
+
+
+@dataclass
+class LayerStatistics:
+    """Exact sparsity statistics of one ``(A, B)`` layer pair.
+
+    Attributes
+    ----------
+    m, k, n, t:
+        Layer dimensions.
+    nnz_weights:
+        Non-zero weights in ``B``.
+    nnz_spikes:
+        Non-zero spikes in ``A`` (across all timesteps).
+    nonsilent_neurons:
+        ``(m, k)`` positions that fire at least once.
+    matches:
+        ``(M, N)`` array of non-silent x non-zero-weight matched positions.
+    true_acs:
+        ``(M, N)`` array of genuine accumulate operations (spike = 1 and
+        weight != 0, summed over timesteps).
+    true_acs_per_t:
+        Total genuine accumulations per timestep, shape ``(T,)``.
+    active_columns_per_t:
+        Number of ``k`` columns of ``A`` with at least one spike, per
+        timestep (drives outer-product B-row fetches).
+    weight_row_nnz:
+        Non-zeros per row of ``B``, shape ``(K,)``.
+    spikes_per_row_t:
+        Non-zero spikes per ``(m, t)`` pair, shape ``(M, T)``.
+    """
+
+    m: int
+    k: int
+    n: int
+    t: int
+    nnz_weights: int
+    nnz_spikes: int
+    nonsilent_neurons: int
+    matches: np.ndarray
+    true_acs: np.ndarray
+    true_acs_per_t: np.ndarray
+    active_columns_per_t: np.ndarray
+    weight_row_nnz: np.ndarray
+    spikes_per_row_t: np.ndarray
+
+
+def collect_layer_statistics(spikes: np.ndarray, weights: np.ndarray) -> LayerStatistics:
+    """Compute the exact per-layer statistics every baseline model consumes."""
+    spikes = np.asarray(spikes)
+    weights = np.asarray(weights)
+    if spikes.ndim != 3 or weights.ndim != 2:
+        raise ValueError("expected spikes (M, K, T) and weights (K, N)")
+    if spikes.shape[1] != weights.shape[0]:
+        raise ValueError("contraction dimension mismatch")
+    m, k, t = spikes.shape
+    n = weights.shape[1]
+    weight_mask = (weights != 0).astype(np.float64)
+    nonsilent = spikes.any(axis=2)
+    matches = nonsilent.astype(np.float64) @ weight_mask
+
+    true_acs = np.zeros((m, n), dtype=np.float64)
+    true_acs_per_t = np.zeros(t, dtype=np.float64)
+    active_columns = np.zeros(t, dtype=np.int64)
+    for ti in range(t):
+        spikes_t = spikes[:, :, ti].astype(np.float64)
+        acs_t = spikes_t @ weight_mask
+        true_acs += acs_t
+        true_acs_per_t[ti] = acs_t.sum()
+        active_columns[ti] = int((spikes[:, :, ti].any(axis=0)).sum())
+
+    return LayerStatistics(
+        m=m,
+        k=k,
+        n=n,
+        t=t,
+        nnz_weights=int(weight_mask.sum()),
+        nnz_spikes=int(spikes.sum()),
+        nonsilent_neurons=int(nonsilent.sum()),
+        matches=matches,
+        true_acs=true_acs,
+        true_acs_per_t=true_acs_per_t,
+        active_columns_per_t=active_columns,
+        weight_row_nnz=(weights != 0).sum(axis=1).astype(np.int64),
+        spikes_per_row_t=spikes.sum(axis=1).astype(np.int64),
+    )

@@ -1,0 +1,203 @@
+"""Gamma-SNN and Gamma-ANN baselines (Gustavson's dataflow).
+
+Gamma [Zhang et al., ASPLOS'21] uses Gustavson's row-wise product: for every
+non-zero of an input row, the corresponding weight row is fetched from the
+FiberCache and merged into the growing output row by a high-radix merger.
+Its strength is off-chip traffic -- partial output rows stay on chip -- and
+its weakness when running SNNs sequentially over timesteps is on-chip
+traffic: every timestep re-streams weight rows and re-merges partial output
+rows, multiplying the SRAM traffic by roughly ``T`` (Section VI-A).
+
+Gamma-ANN (Figure 18) is the original design on a dual-sparse ANN with 8-bit
+activations and a single temporal pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import SimulatorBase
+from ..metrics.results import SimulationResult
+from .common import bitmask_fiber_bytes, collect_layer_statistics, coordinate_bits
+
+__all__ = ["GammaSNN", "GammaANN"]
+
+
+class GammaSNN(SimulatorBase):
+    """Gamma running a dual-sparse SNN with sequential timesteps."""
+
+    name = "Gamma-SNN"
+
+    #: Radix of the on-chip merger (how many scaled rows merge per pass).
+    merger_radix = 64
+    #: Effective merge radix when running SNNs with sequential timesteps:
+    #: the per-timestep passes fragment the merge schedule, so partial output
+    #: rows bounce through the FiberCache after merging only a couple of
+    #: scaled rows instead of a full radix-64 group (this is the mechanism
+    #: behind the "t-dim enlarges the partial row traffic" observation of
+    #: Section VI-A).
+    effective_merge_radix = 2
+    #: Bytes per partial-sum element held in partial output rows.
+    psum_bytes = 2
+    #: Elements the merge pipeline retires per cycle across all PEs.
+    merge_throughput = 16.0
+
+    def simulate_layer(
+        self, spikes: np.ndarray, weights: np.ndarray, name: str = "layer", **kwargs
+    ) -> SimulationResult:
+        """Simulate one dual-sparse SNN layer on Gamma-SNN."""
+        cfg = self.config
+        energy_model = cfg.energy
+        stats = collect_layer_statistics(spikes, weights)
+        m, k, n, t = stats.m, stats.k, stats.n, stats.t
+        result = SimulationResult(accelerator=self.name, workload=name)
+        total_true_acs = float(stats.true_acs_per_t.sum())
+
+        # ---------------- compute cycles ---------------- #
+        # Each genuine accumulation flows through the merger once; partial
+        # output rows that need several radix-limited merge rounds flow
+        # through again on every extra round.
+        spikes_per_row_t = stats.spikes_per_row_t.astype(np.float64)  # (M, T)
+        compute_rounds = np.ceil(np.maximum(spikes_per_row_t, 1.0) / self.merger_radix)
+        partial_row_elements = float(n)
+        remerged_elements = float(
+            (np.maximum(compute_rounds - 1.0, 0.0) * partial_row_elements).sum()
+        )
+        compute_cycles = (total_true_acs + remerged_elements) / self.merge_throughput
+        # SRAM-side merge schedule: the sequential timestep passes fragment
+        # the merge into much smaller groups, so partial rows make many more
+        # FiberCache round trips than the compute-side radix suggests.
+        merge_rounds = np.ceil(
+            np.maximum(spikes_per_row_t, 1.0) / self.effective_merge_radix
+        )
+
+        # ---------------- traffic ---------------- #
+        # Inputs: spike rows stored per timestep with per-spike coordinates.
+        a_coord_bits = coordinate_bits(k)
+        a_payload_bytes = 0.0  # unary spikes carry no payload
+        a_format_bytes = stats.nnz_spikes * a_coord_bits / 8.0 + m * t * cfg.pointer_bits / 8.0
+        b_payload_bytes = stats.nnz_weights * cfg.weight_bits / 8.0
+        b_format_bytes = stats.nnz_weights * coordinate_bits(n) / 8.0 + k * cfg.pointer_bits / 8.0
+        output_bytes = m * n * t / 8.0 + m * t * cfg.pointer_bits / 8.0
+
+        result.dram.add("input", a_payload_bytes)
+        result.dram.add("format", a_format_bytes + b_format_bytes)
+        result.dram.add("weight", b_payload_bytes)
+        result.dram.add("output", output_bytes)
+        # The FiberCache keeps partial rows on chip; with the extra t-dim the
+        # working set of in-flight partial rows grows T-fold, and whatever
+        # does not fit must make a round trip to DRAM.
+        partial_row_working_set = m * t * n * self.psum_bytes
+        spill_fraction = (
+            max(0.0, 1.0 - cfg.global_cache_bytes / partial_row_working_set)
+            if partial_row_working_set
+            else 0.0
+        )
+        psum_dram = 2.0 * partial_row_working_set * spill_fraction
+        result.dram.add("psum", psum_dram)
+
+        # On-chip: every non-zero spike pulls a weight row from the
+        # FiberCache; every merge round reads and writes the partial row.
+        weight_row_bytes = stats.weight_row_nnz * (cfg.weight_bits + coordinate_bits(n)) / 8.0
+        spikes_per_column_t = np.asarray(spikes).sum(axis=0).astype(np.float64)  # (K, T)
+        sram_b = float((spikes_per_column_t.sum(axis=1) * weight_row_bytes).sum())
+        partial_row_traffic = 2.0 * float(
+            (merge_rounds * partial_row_elements * self.psum_bytes).sum()
+        )
+        result.sram.add("weight", sram_b)
+        result.sram.add("psum", partial_row_traffic + 2.0 * psum_dram)
+        result.sram.add("input", a_format_bytes)
+        result.sram.add("output", output_bytes)
+
+        fiber_accesses = float(stats.nnz_spikes) + m * t
+        fiber_misses = float((spikes_per_column_t.any(axis=1)).sum()) + m * t
+        result.sram_miss_rate = fiber_misses / fiber_accesses if fiber_accesses else 0.0
+
+        # ---------------- energy ---------------- #
+        dram_bytes = result.dram.total()
+        sram_bytes = result.sram.total()
+        result.energy.add("dram", dram_bytes * energy_model.dram_per_byte)
+        result.energy.add("sram", sram_bytes * energy_model.sram_per_byte)
+        result.energy.add("compute", total_true_acs * energy_model.accumulate)
+        result.energy.add(
+            "merger", (total_true_acs + remerged_elements) * energy_model.merger_per_element
+        )
+        result.energy.add("lif", m * n * t * energy_model.lif_update)
+
+        cycles, memory_cycles = self.roofline_cycles(compute_cycles, dram_bytes, sram_bytes)
+        result.compute_cycles = compute_cycles
+        result.memory_cycles = memory_cycles
+        result.cycles = cycles
+        result.add_ops("true_accumulations", total_true_acs)
+        result.add_ops("remerged_elements", remerged_elements)
+        return result
+
+
+class GammaANN(SimulatorBase):
+    """The original Gamma design running a dual-sparse ANN layer."""
+
+    name = "Gamma-ANN"
+
+    merger_radix = 64
+    psum_bytes = 2
+    merge_throughput = 16.0
+
+    def simulate_layer(
+        self, activations: np.ndarray, weights: np.ndarray, name: str = "layer", **kwargs
+    ) -> SimulationResult:
+        """Simulate one dual-sparse ANN layer (``activations`` is ``(M, K)``)."""
+        activations = np.asarray(activations)
+        weights = np.asarray(weights)
+        if activations.ndim != 2 or weights.ndim != 2:
+            raise ValueError("expected activations (M, K) and weights (K, N)")
+        cfg = self.config
+        energy_model = cfg.energy
+        m, k = activations.shape
+        n = weights.shape[1]
+        result = SimulationResult(accelerator=self.name, workload=name)
+
+        act_mask = (activations != 0).astype(np.float64)
+        weight_mask = (weights != 0).astype(np.float64)
+        weight_row_nnz = weight_mask.sum(axis=1)
+        true_macs = float((act_mask @ weight_mask).sum())
+        nnz_act = int(act_mask.sum())
+        nnz_w = int(weight_mask.sum())
+        activation_bits = 8
+
+        nnz_per_row = act_mask.sum(axis=1)
+        merge_rounds = np.ceil(np.maximum(nnz_per_row, 1.0) / self.merger_radix)
+        remerged = float((np.maximum(merge_rounds - 1.0, 0.0) * n).sum())
+        compute_cycles = (true_macs + remerged) / self.merge_throughput
+
+        a_bytes = bitmask_fiber_bytes(k, nnz_act, m, activation_bits, cfg.pointer_bits)
+        b_payload = nnz_w * cfg.weight_bits / 8.0
+        b_format = nnz_w * coordinate_bits(n) / 8.0 + k * cfg.pointer_bits / 8.0
+        outputs = np.maximum(activations.astype(np.float64) @ weights.astype(np.float64), 0)
+        output_bytes = bitmask_fiber_bytes(n, int((outputs > 0).sum()), m, activation_bits, cfg.pointer_bits)
+
+        result.dram.add("input", nnz_act * activation_bits / 8.0)
+        result.dram.add("format", a_bytes - nnz_act * activation_bits / 8.0 + b_format)
+        result.dram.add("weight", b_payload)
+        result.dram.add("output", output_bytes)
+
+        weight_row_bytes = weight_row_nnz * (cfg.weight_bits + coordinate_bits(n)) / 8.0
+        sram_b = float((act_mask.sum(axis=0) * weight_row_bytes).sum())
+        partial_row_traffic = 2.0 * float((merge_rounds * n * self.psum_bytes).sum())
+        result.sram.add("weight", sram_b)
+        result.sram.add("psum", partial_row_traffic)
+        result.sram.add("input", a_bytes)
+        result.sram.add("output", output_bytes)
+
+        dram_bytes = result.dram.total()
+        sram_bytes = result.sram.total()
+        result.energy.add("dram", dram_bytes * energy_model.dram_per_byte)
+        result.energy.add("sram", sram_bytes * energy_model.sram_per_byte)
+        result.energy.add("compute", true_macs * energy_model.multiply_accumulate)
+        result.energy.add("merger", (true_macs + remerged) * energy_model.merger_per_element)
+
+        cycles, memory_cycles = self.roofline_cycles(compute_cycles, dram_bytes, sram_bytes)
+        result.compute_cycles = compute_cycles
+        result.memory_cycles = memory_cycles
+        result.cycles = cycles
+        result.add_ops("multiply_accumulates", true_macs)
+        return result

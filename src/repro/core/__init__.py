@@ -1,0 +1,38 @@
+"""The paper's contribution: FTP dataflow and the LoAS accelerator model.
+
+Public entry points:
+
+* :func:`repro.core.ftp.ftp_layer` -- functional execution of Algorithm 1,
+* :class:`repro.core.inner_join.InnerJoinUnit` -- the FTP-friendly inner
+  join with pseudo / correction accumulation,
+* :class:`repro.core.tppe.TPPE` -- one temporal-parallel processing element,
+* :class:`repro.core.loas.LoASSimulator` -- the full analytical simulator
+  producing cycles, traffic and energy for any dual-sparse SNN workload.
+"""
+
+from .base import SimulatorBase
+from .compressor import CompressorResult, OutputCompressor
+from .config import LoASConfig
+from .ftp import ftp_layer, ftp_spmspm
+from .inner_join import InnerJoinResult, InnerJoinUnit
+from .loas import LoASSimulator
+from .plif import ParallelLIF
+from .scheduler import Scheduler, Wave
+from .tppe import TPPE, TPPEResult
+
+__all__ = [
+    "CompressorResult",
+    "InnerJoinResult",
+    "InnerJoinUnit",
+    "LoASConfig",
+    "LoASSimulator",
+    "OutputCompressor",
+    "ParallelLIF",
+    "Scheduler",
+    "SimulatorBase",
+    "TPPE",
+    "TPPEResult",
+    "Wave",
+    "ftp_layer",
+    "ftp_spmspm",
+]

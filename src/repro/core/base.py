@@ -1,0 +1,109 @@
+"""Shared simulator interface for LoAS and every baseline accelerator.
+
+All accelerator models implement ``simulate_layer(spikes, weights, name)``
+returning a :class:`~repro.metrics.results.SimulationResult`.  This base
+class adds the common plumbing on top of that single method:
+
+* generating tensors from a :class:`~repro.snn.workloads.LayerWorkload` and
+  simulating them (``simulate_workload``),
+* iterating a :class:`~repro.snn.workloads.NetworkWorkload` layer by layer
+  and aggregating the results (``simulate_network``), and
+* the roofline-style combination of compute cycles with DRAM / SRAM
+  bandwidth bounds used by every analytical cost model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..metrics.results import SimulationResult, aggregate_results
+from ..snn.workloads import LayerWorkload, NetworkWorkload
+from .config import LoASConfig
+
+__all__ = ["SimulatorBase"]
+
+
+class SimulatorBase:
+    """Common driver logic shared by all accelerator simulators."""
+
+    #: Human-readable accelerator name; subclasses override.
+    name: str = "abstract"
+
+    def __init__(self, config: LoASConfig | None = None):
+        self.config = config or LoASConfig()
+
+    # ------------------------------------------------------------------ #
+    # Interface implemented by subclasses
+    # ------------------------------------------------------------------ #
+    def simulate_layer(
+        self, spikes: np.ndarray, weights: np.ndarray, name: str = "layer", **kwargs
+    ) -> SimulationResult:
+        """Simulate one layer given concrete tensors.  Must be overridden."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Workload / network drivers
+    # ------------------------------------------------------------------ #
+    def simulate_workload(
+        self,
+        workload: LayerWorkload,
+        rng: np.random.Generator | None = None,
+        finetuned: bool = False,
+        **kwargs,
+    ) -> SimulationResult:
+        """Generate the workload's tensors and simulate the layer."""
+        rng = np.random.default_rng(0) if rng is None else rng
+        spikes, weights = workload.generate(rng=rng, finetuned=finetuned)
+        return self.simulate_layer(spikes, weights, name=workload.name, **kwargs)
+
+    def simulate_network(
+        self,
+        network: NetworkWorkload,
+        rng: np.random.Generator | None = None,
+        finetuned: bool = False,
+        **kwargs,
+    ) -> SimulationResult:
+        """Simulate every layer of a network and aggregate the results."""
+        rng = np.random.default_rng(0) if rng is None else rng
+        results = [
+            self.simulate_workload(layer, rng=rng, finetuned=finetuned, **kwargs)
+            for layer in network.layers
+        ]
+        return aggregate_results(results, accelerator=self.name, workload=network.name)
+
+    # ------------------------------------------------------------------ #
+    # Shared modelling helpers
+    # ------------------------------------------------------------------ #
+    def roofline_cycles(self, compute_cycles: float, dram_bytes: float, sram_bytes: float) -> tuple[float, float]:
+        """Combine compute cycles with memory bandwidth bounds.
+
+        Returns ``(total_cycles, memory_cycles)`` where ``memory_cycles`` is
+        the larger of the DRAM and SRAM service times and ``total_cycles``
+        is the roofline maximum of compute and memory -- the same
+        overlapped-transfer assumption the paper's analytical simulator uses.
+        """
+        dram_cycles = self.config.dram.cycles_for_bytes(dram_bytes)
+        sram_cycles = self.config.sram.cycles_for_bytes(sram_bytes)
+        memory_cycles = max(dram_cycles, sram_cycles)
+        return max(compute_cycles, memory_cycles), memory_cycles
+
+    @staticmethod
+    def grouped_wave_cycles(task_cycles: np.ndarray, group_size: int) -> float:
+        """Sum of per-wave maxima when rows are processed ``group_size`` at a time.
+
+        ``task_cycles`` is an ``(M, N)`` array of per-output-neuron cycle
+        counts; rows are dispatched to the parallel PEs in groups, one output
+        column at a time, so each wave costs the maximum of its members
+        (load imbalance is therefore captured exactly).
+        """
+        task_cycles = np.asarray(task_cycles, dtype=np.float64)
+        if task_cycles.ndim != 2:
+            raise ValueError("task_cycles must be an (M, N) array")
+        m, n = task_cycles.shape
+        if group_size < 1:
+            raise ValueError("group_size must be at least 1")
+        groups = -(-m // group_size)
+        padded = np.zeros((groups * group_size, n))
+        padded[:m] = task_cycles
+        waves = padded.reshape(groups, group_size, n).max(axis=1)
+        return float(waves.sum())

@@ -1,0 +1,87 @@
+"""Output spike compressor (Section IV-D).
+
+After the P-LIF units generate the output spikes of a group of output
+neurons, the compressor packs them into the FTP-friendly format for the next
+layer: silent output neurons are dropped, the surviving packed words are
+stored contiguously and a bitmask + pointer marks their positions.  LoAS
+uses an *inverted laggy* prefix-sum circuit for this step because, unlike the
+inner join, compression is not on the critical path.
+
+When the fine-tuned preprocessing is enabled the compressor additionally
+discards output neurons that fire only once across all timesteps (the
+masking the next layer was fine-tuned for).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..sparse.matrix import mask_low_activity_neurons
+from ..sparse.packed import PackedSpikeMatrix
+from .config import LoASConfig
+
+__all__ = ["CompressorResult", "OutputCompressor"]
+
+
+@dataclass
+class CompressorResult:
+    """Outcome of compressing one layer's output spikes.
+
+    Attributes
+    ----------
+    packed:
+        The compressed output (input format of the next layer).
+    cycles:
+        Cycles spent by the inverted laggy prefix-sum circuit.
+    output_bytes:
+        Compressed bytes written back to the global cache / DRAM.
+    dropped_neurons:
+        Output neurons discarded by the preprocessing rule (0 when
+        preprocessing is disabled).
+    """
+
+    packed: PackedSpikeMatrix
+    cycles: float
+    output_bytes: float
+    dropped_neurons: int
+
+
+@dataclass
+class OutputCompressor:
+    """The output-spike compression unit."""
+
+    config: LoASConfig = field(default_factory=LoASConfig)
+
+    def compress(self, output_spikes: np.ndarray, preprocess: bool = False) -> CompressorResult:
+        """Compress an ``(M, N, T)`` output spike tensor.
+
+        Parameters
+        ----------
+        output_spikes:
+            Output spikes produced by the P-LIF units.
+        preprocess:
+            Apply the fine-tuned preprocessing rule: neurons with zero or one
+            spike across all timesteps are treated as silent.
+        """
+        output_spikes = np.asarray(output_spikes)
+        if output_spikes.ndim != 3:
+            raise ValueError("expected an (M, N, T) output spike tensor")
+        before_silent = int((output_spikes.sum(axis=2) == 0).sum())
+        if preprocess:
+            output_spikes = mask_low_activity_neurons(output_spikes, max_spikes=1)
+        after_silent = int((output_spikes.sum(axis=2) == 0).sum())
+        packed = PackedSpikeMatrix.from_dense(output_spikes)
+
+        # One inverted laggy prefix-sum pass per output-row bitmask chunk.
+        m, n, _ = output_spikes.shape
+        chunks_per_row = self.config.bitmask_chunks(n)
+        cycles = m * chunks_per_row * self.config.laggy_latency_cycles
+        output_bytes = packed.storage_bytes(self.config.pointer_bits)
+        return CompressorResult(
+            packed=packed,
+            cycles=float(cycles),
+            output_bytes=float(output_bytes),
+            dropped_neurons=after_silent - before_silent,
+        )

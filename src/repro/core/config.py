@@ -1,0 +1,113 @@
+"""LoAS hardware configuration (Table III of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..arch.energy import EnergyModel
+from ..arch.memory import DRAMModel, SRAMModel
+
+__all__ = ["LoASConfig"]
+
+
+@dataclass(frozen=True)
+class LoASConfig:
+    """Configuration of the LoAS accelerator and its memory system.
+
+    Defaults follow Table III: 16 TPPEs with 8-bit weights, one inner-join
+    unit per TPPE (one fast + one laggy prefix-sum circuit over 128-bit
+    bitmask chunks, 16 adders in the laggy circuit), a 256 KB 16-bank global
+    cache and a 128 GB/s HBM interface at 800 MHz.
+
+    Attributes
+    ----------
+    num_tppes:
+        Number of temporal-parallel processing elements.
+    timesteps:
+        Number of timesteps ``T`` the datapath is provisioned for (one
+        pseudo-accumulator plus ``T`` correction accumulators per TPPE).
+    weight_bits:
+        Bit width of the weights of matrix ``B``.
+    bitmask_chunk_bits:
+        Width of the bitmask chunk processed per prefix-sum invocation.
+    laggy_adders:
+        Number of adders in the laggy prefix-sum circuit (latency =
+        ``bitmask_chunk_bits / laggy_adders`` cycles).
+    fifo_depth:
+        Depth of the matched-position / matched-weight FIFOs.
+    weight_buffer_bytes:
+        Per-TPPE buffer holding the non-zero weights of the current fiber-B.
+    pointer_bits:
+        Width of the pointer stored after each fiber bitmask.
+    task_overhead_cycles:
+        Fixed per-output-neuron pipeline overhead (fiber hand-off, P-LIF
+        hand-off, laggy-prefix drain at the end of a fiber).
+    global_cache_bytes / cache_banks:
+        Global SRAM (FiberCache) capacity and banking.
+    dram / sram / energy:
+        Memory timing and energy sub-models.
+    clock_ghz:
+        Accelerator clock frequency.
+    """
+
+    num_tppes: int = 16
+    timesteps: int = 4
+    weight_bits: int = 8
+    bitmask_chunk_bits: int = 128
+    laggy_adders: int = 16
+    fifo_depth: int = 8
+    weight_buffer_bytes: int = 128
+    pointer_bits: int = 32
+    task_overhead_cycles: int = 8
+    global_cache_bytes: int = 256 * 1024
+    cache_banks: int = 16
+    clock_ghz: float = 0.8
+    dram: DRAMModel = field(default_factory=DRAMModel)
+    sram: SRAMModel = field(default_factory=SRAMModel)
+    energy: EnergyModel = field(default_factory=EnergyModel)
+
+    def __post_init__(self) -> None:
+        if self.num_tppes < 1:
+            raise ValueError("num_tppes must be at least 1")
+        if self.timesteps < 1:
+            raise ValueError("timesteps must be at least 1")
+        if self.bitmask_chunk_bits < 1:
+            raise ValueError("bitmask_chunk_bits must be at least 1")
+        if self.laggy_adders < 1:
+            raise ValueError("laggy_adders must be at least 1")
+
+    @property
+    def laggy_latency_cycles(self) -> int:
+        """Cycles the laggy prefix-sum needs per bitmask chunk."""
+        return -(-self.bitmask_chunk_bits // self.laggy_adders)
+
+    @property
+    def accumulators_per_tppe(self) -> int:
+        """One pseudo-accumulator plus one correction accumulator per timestep."""
+        return 1 + self.timesteps
+
+    def bitmask_chunks(self, fiber_length: int) -> int:
+        """Number of bitmask chunks needed to cover a fiber of ``fiber_length``."""
+        if fiber_length < 0:
+            raise ValueError("fiber length must be non-negative")
+        return -(-fiber_length // self.bitmask_chunk_bits)
+
+    def with_timesteps(self, timesteps: int) -> "LoASConfig":
+        """Copy of the configuration provisioned for a different ``T``."""
+        return LoASConfig(
+            num_tppes=self.num_tppes,
+            timesteps=timesteps,
+            weight_bits=self.weight_bits,
+            bitmask_chunk_bits=self.bitmask_chunk_bits,
+            laggy_adders=self.laggy_adders,
+            fifo_depth=self.fifo_depth,
+            weight_buffer_bytes=self.weight_buffer_bytes,
+            pointer_bits=self.pointer_bits,
+            task_overhead_cycles=self.task_overhead_cycles,
+            global_cache_bytes=self.global_cache_bytes,
+            cache_banks=self.cache_banks,
+            clock_ghz=self.clock_ghz,
+            dram=self.dram,
+            sram=self.sram,
+            energy=self.energy,
+        )

@@ -1,0 +1,76 @@
+"""Fully Temporal-Parallel (FTP) dataflow -- Algorithm 1 of the paper.
+
+The FTP dataflow is the inner-product loop nest with the temporal dimension
+placed at the innermost position and spatially unrolled: for every output
+neuron ``(m, n)``, the reduction over ``k`` accumulates all ``T`` timesteps
+in parallel, and a parallel LIF stage converts the ``T`` full sums into the
+``T`` output spikes in one shot.
+
+This module provides the *functional* execution of the dataflow (used as the
+correctness backbone: it must agree exactly with the dense reference of
+:mod:`repro.snn.layers`) -- the cycle-accurate cost model lives in
+:mod:`repro.core.loas`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..snn.layers import LayerOutput
+from ..snn.lif import LIFParameters
+from .plif import ParallelLIF
+
+__all__ = ["ftp_spmspm", "ftp_layer"]
+
+
+def ftp_spmspm(spikes: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Execute Algorithm 1 lines 1-6: the spMspM portion of the FTP dataflow.
+
+    The loop structure mirrors the algorithm: ``m`` and ``n`` iterate over
+    output neurons; the reduction over ``k`` only visits positions where the
+    packed spike word is non-silent *and* the weight is non-zero (the
+    inner-join condition); the accumulation across ``t`` happens for all
+    timesteps of a matched position at once (the ``parallel-for t``).
+
+    Returns the full-sum tensor ``O`` of shape ``(M, N, T)``.
+    """
+    spikes = np.asarray(spikes)
+    weights = np.asarray(weights)
+    if spikes.ndim != 3 or weights.ndim != 2:
+        raise ValueError("expected spikes (M, K, T) and weights (K, N)")
+    if spikes.shape[1] != weights.shape[0]:
+        raise ValueError("contraction dimension mismatch")
+    m_dim, _, t_dim = spikes.shape
+    n_dim = weights.shape[1]
+    output = np.zeros((m_dim, n_dim, t_dim), dtype=np.int64)
+    nonsilent = spikes.any(axis=2)
+    weight_mask = weights != 0
+    for m in range(m_dim):
+        row_mask = nonsilent[m]
+        row_spikes = spikes[m]
+        for n in range(n_dim):
+            matched = row_mask & weight_mask[:, n]
+            if not matched.any():
+                continue
+            # parallel-for t: one vectorised accumulation per matched k.
+            output[m, n, :] = (
+                row_spikes[matched].astype(np.int64).T @ weights[matched, n].astype(np.int64)
+            )
+    return output
+
+
+def ftp_layer(
+    spikes: np.ndarray,
+    weights: np.ndarray,
+    lif: LIFParameters | None = None,
+) -> LayerOutput:
+    """Execute one full SNN layer with the FTP dataflow (Algorithm 1 lines 1-8).
+
+    The spMspM stage runs with :func:`ftp_spmspm`; the LIF stage runs with
+    the parallel LIF unit, which produces the output spikes of all timesteps
+    for each output neuron in one shot.
+    """
+    full_sums = ftp_spmspm(spikes, weights)
+    plif = ParallelLIF(lif or LIFParameters())
+    out_spikes = plif.fire(full_sums)
+    return LayerOutput(full_sums=full_sums, spikes=out_spikes)

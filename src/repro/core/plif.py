@@ -1,0 +1,54 @@
+"""Parallel LIF (P-LIF) unit: all timesteps of one output neuron in one shot.
+
+In LoAS, each TPPE produces the full sums of one output neuron for all
+timesteps; the P-LIF unit then unrolls the LIF recurrence spatially (a chain
+of adders, threshold comparators and shifters, see the purple box of
+Figure 7) so the output spikes of all ``T`` timesteps emerge together.
+
+Functionally the recurrence is still sequential in ``t`` (the membrane
+potential carries over); the hardware simply evaluates the unrolled chain
+combinationally.  The model therefore computes the exact LIF result while
+charging a single pipeline slot per output neuron.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..snn.lif import LIFParameters, lif_fire
+
+__all__ = ["ParallelLIF"]
+
+
+@dataclass(frozen=True)
+class ParallelLIF:
+    """The parallel LIF firing unit.
+
+    Attributes
+    ----------
+    params:
+        LIF neuron parameters (threshold, leak).
+    latency_cycles:
+        Pipeline latency to produce the spikes of one output neuron for all
+        timesteps (1 cycle: the chain is combinational and pipelined).
+    """
+
+    params: LIFParameters = LIFParameters()
+    latency_cycles: int = 1
+
+    def fire(self, full_sums: np.ndarray) -> np.ndarray:
+        """Output spikes for full sums with a trailing temporal axis."""
+        return lif_fire(np.asarray(full_sums, dtype=np.float64), self.params)
+
+    def fire_neuron(self, sums_over_time: np.ndarray) -> np.ndarray:
+        """Output spikes of a single neuron given its per-timestep sums."""
+        sums_over_time = np.asarray(sums_over_time, dtype=np.float64)
+        if sums_over_time.ndim != 1:
+            raise ValueError("expected a 1-D per-timestep sum vector")
+        return self.fire(sums_over_time[None, :])[0]
+
+    def lif_operations(self, num_neurons: int, timesteps: int) -> int:
+        """Number of elementary LIF updates performed."""
+        return num_neurons * timesteps

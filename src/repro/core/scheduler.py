@@ -1,0 +1,66 @@
+"""Workload scheduler: dispatching fibers to the TPPEs.
+
+The LoAS scheduler broadcasts one weight fiber (a column of ``B``) to all
+TPPEs through the swizzle-switch crossbar while each TPPE holds the bitmask
+of a distinct spike fiber (a row of ``A``).  Rows are therefore processed in
+groups of ``num_tppes``; all groups of one output column complete before the
+next column's weight fiber is broadcast, which maximises reuse of the cached
+weight fiber and keeps the output compressor operating on whole rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .config import LoASConfig
+
+__all__ = ["Wave", "Scheduler"]
+
+
+@dataclass(frozen=True)
+class Wave:
+    """One scheduling wave: a group of rows joined against one weight column.
+
+    Attributes
+    ----------
+    column:
+        Index of the broadcast weight fiber (output column ``n``).
+    rows:
+        Row indices (output neurons ``m``) assigned to the TPPEs.
+    """
+
+    column: int
+    rows: tuple[int, ...]
+
+
+@dataclass
+class Scheduler:
+    """Generates the wave schedule and its utilisation statistics."""
+
+    config: LoASConfig = field(default_factory=LoASConfig)
+
+    def waves(self, num_rows: int, num_columns: int) -> list[Wave]:
+        """Full wave schedule for an ``(M, N)`` output grid."""
+        if num_rows < 0 or num_columns < 0:
+            raise ValueError("dimensions must be non-negative")
+        group = self.config.num_tppes
+        schedule: list[Wave] = []
+        for column in range(num_columns):
+            for start in range(0, num_rows, group):
+                rows = tuple(range(start, min(start + group, num_rows)))
+                schedule.append(Wave(column=column, rows=rows))
+        return schedule
+
+    def num_waves(self, num_rows: int, num_columns: int) -> int:
+        """Number of waves without materialising the schedule."""
+        group = self.config.num_tppes
+        return (-(-num_rows // group)) * num_columns if num_rows and num_columns else 0
+
+    def pe_utilization(self, num_rows: int, num_columns: int) -> float:
+        """Fraction of TPPE slots that hold real work across the schedule."""
+        waves = self.num_waves(num_rows, num_columns)
+        if waves == 0:
+            return 0.0
+        total_slots = waves * self.config.num_tppes
+        useful = num_rows * num_columns
+        return useful / total_slots

@@ -1,0 +1,69 @@
+"""Temporal-Parallel Processing Element (TPPE).
+
+Each TPPE produces the full sums of one output neuron across all timesteps
+(line 5 of Algorithm 1): it holds the bitmask of one spike fiber and the
+broadcast weight fiber, runs the FTP-friendly inner join, accumulates the
+matched weights into the pseudo / correction accumulators and hands the
+corrected per-timestep sums to the P-LIF unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..sparse.fiber import Fiber
+from ..snn.lif import LIFParameters
+from .config import LoASConfig
+from .inner_join import InnerJoinResult, InnerJoinUnit
+from .plif import ParallelLIF
+
+__all__ = ["TPPEResult", "TPPE"]
+
+
+@dataclass
+class TPPEResult:
+    """Result of processing one output neuron on a TPPE.
+
+    Attributes
+    ----------
+    full_sums:
+        Per-timestep full sums of the output neuron (length ``T``).
+    output_spikes:
+        Output spikes of the neuron for all timesteps (after P-LIF).
+    join:
+        Detailed inner-join statistics.
+    cycles:
+        TPPE-level cycle count for this neuron (inner join plus P-LIF
+        hand-off).
+    """
+
+    full_sums: np.ndarray
+    output_spikes: np.ndarray
+    join: InnerJoinResult
+    cycles: int
+
+
+@dataclass
+class TPPE:
+    """One temporal-parallel processing element plus its P-LIF unit."""
+
+    config: LoASConfig = field(default_factory=LoASConfig)
+    lif: LIFParameters = field(default_factory=LIFParameters)
+
+    def __post_init__(self) -> None:
+        self.inner_join = InnerJoinUnit(self.config)
+        self.plif = ParallelLIF(self.lif)
+
+    def process(self, spike_fiber: Fiber, weight_fiber: Fiber) -> TPPEResult:
+        """Process one (spike fiber, weight fiber) pair into one output neuron."""
+        join = self.inner_join.join(spike_fiber, weight_fiber)
+        spikes = self.plif.fire_neuron(join.per_timestep_sums.astype(np.float64))
+        cycles = join.cycles + self.plif.latency_cycles
+        return TPPEResult(
+            full_sums=join.per_timestep_sums,
+            output_spikes=spikes,
+            join=join,
+            cycles=cycles,
+        )

@@ -1,0 +1,93 @@
+"""Functional executions of the three spMspM dataflows (plus timesteps).
+
+Every dataflow computes the same mathematical result (Equation 1); what
+differs is the iteration order and therefore the reuse / partial-sum
+behaviour.  These implementations follow the loop structures of Figure 3
+explicitly -- outer loops in Python, the innermost reduction in NumPy -- so
+the tests can confirm that all orderings agree with the dense reference and
+so operation counts can be traced if needed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "inner_product_spmspm",
+    "outer_product_spmspm",
+    "gustavson_spmspm",
+]
+
+
+def _validate(spikes: np.ndarray, weights: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    spikes = np.asarray(spikes)
+    weights = np.asarray(weights)
+    if spikes.ndim != 3 or weights.ndim != 2:
+        raise ValueError("expected spikes (M, K, T) and weights (K, N)")
+    if spikes.shape[1] != weights.shape[0]:
+        raise ValueError("contraction dimension mismatch")
+    return spikes, weights
+
+
+def inner_product_spmspm(spikes: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Inner-product dataflow: ``for m, for n, for k`` (t innermost).
+
+    Each output element is completed (all ``k`` reduced) before moving on,
+    which is the ordering LoAS's FTP dataflow builds on.
+    """
+    spikes, weights = _validate(spikes, weights)
+    m_dim, k_dim, t_dim = spikes.shape
+    n_dim = weights.shape[1]
+    output = np.zeros((m_dim, n_dim, t_dim), dtype=np.int64)
+    for m in range(m_dim):
+        row = spikes[m]  # K x T
+        for n in range(n_dim):
+            column = weights[:, n]  # K
+            nonzero = np.flatnonzero(column)
+            if nonzero.size == 0:
+                continue
+            # Reduction over k, all timesteps at once (parallel-for t).
+            output[m, n, :] = row[nonzero].T.astype(np.int64) @ column[nonzero].astype(np.int64)
+    return output
+
+
+def outer_product_spmspm(spikes: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Outer-product dataflow: ``for k, for m, for n``.
+
+    Each ``k`` produces a rank-1 partial-sum matrix per timestep that is
+    merged into the output; this is the ordering GoSPA uses.
+    """
+    spikes, weights = _validate(spikes, weights)
+    m_dim, k_dim, t_dim = spikes.shape
+    n_dim = weights.shape[1]
+    output = np.zeros((m_dim, n_dim, t_dim), dtype=np.int64)
+    for k in range(k_dim):
+        column_a = spikes[:, k, :]  # M x T
+        row_b = weights[k, :]  # N
+        if not column_a.any() or not row_b.any():
+            continue
+        # Rank-1 update for every timestep in parallel.
+        output += column_a[:, None, :].astype(np.int64) * row_b[None, :, None].astype(np.int64)
+    return output
+
+
+def gustavson_spmspm(spikes: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Gustavson's (row-wise product) dataflow: ``for m, for k, for n``.
+
+    Each non-zero of row ``m`` of ``A`` scales row ``k`` of ``B`` and merges
+    it into output row ``m``; this is the ordering Gamma uses.
+    """
+    spikes, weights = _validate(spikes, weights)
+    m_dim, k_dim, t_dim = spikes.shape
+    n_dim = weights.shape[1]
+    output = np.zeros((m_dim, n_dim, t_dim), dtype=np.int64)
+    for m in range(m_dim):
+        for k in range(k_dim):
+            spike_word = spikes[m, k, :]
+            if not spike_word.any():
+                continue
+            row_b = weights[k, :]
+            if not row_b.any():
+                continue
+            output[m] += row_b[:, None].astype(np.int64) * spike_word[None, :].astype(np.int64)
+    return output

@@ -1,0 +1,185 @@
+"""Loop-nest abstraction for spMspM dataflows with a temporal dimension.
+
+Section II-C / III of the paper reasons about dataflows as permutations of
+the four loops ``m``, ``n``, ``k`` and ``t`` and about which of them are
+spatially unrolled.  This module provides a small analytical framework for
+that reasoning:
+
+* :class:`LoopNest` describes an ordering of the four loops (outermost
+  first), their bounds and the set of spatially unrolled loops;
+* :meth:`LoopNest.operand_accesses` computes how many times each operand
+  (``A[m, k, t]``, ``B[k, n]``, partial sums of ``C[m, n, t]``) is touched,
+  using the classic reuse rule: an operand is re-fetched once per iteration
+  of every temporal loop at or outside its innermost indexing loop;
+* refetch factors relative to the operand's unique footprint, which directly
+  express the paper's observations (e.g. "placing ``t`` anywhere other than
+  the innermost loop costs at least ``T`` times more fetches of the
+  dimensions below").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import permutations
+
+__all__ = ["LoopNest", "OPERAND_INDICES", "all_orders", "dataflow_base_order"]
+
+
+#: Index dimensions of each operand of the SNN spMspM.
+OPERAND_INDICES: dict[str, frozenset[str]] = {
+    "A": frozenset({"m", "k", "t"}),
+    "B": frozenset({"k", "n"}),
+    "C": frozenset({"m", "n", "t"}),
+}
+
+_VALID_DIMS = ("m", "n", "k", "t")
+
+#: Canonical loop order (without ``t``) of the three ANN spMspM dataflows.
+_DATAFLOW_BASE_ORDERS = {
+    "IP": ("m", "n", "k"),
+    "OP": ("k", "m", "n"),
+    "Gust": ("m", "k", "n"),
+}
+
+
+def dataflow_base_order(dataflow: str) -> tuple[str, str, str]:
+    """Canonical ``(m, n, k)`` ordering of a named ANN dataflow.
+
+    ``"IP"`` is inner-product, ``"OP"`` outer-product and ``"Gust"``
+    Gustavson's row-wise product.
+    """
+    try:
+        return _DATAFLOW_BASE_ORDERS[dataflow]
+    except KeyError as exc:
+        raise KeyError(
+            "unknown dataflow %r (expected one of %s)" % (dataflow, sorted(_DATAFLOW_BASE_ORDERS))
+        ) from exc
+
+
+def all_orders(include_t: bool = True) -> list[tuple[str, ...]]:
+    """Every permutation of the loop dimensions (with or without ``t``)."""
+    dims = _VALID_DIMS if include_t else tuple(d for d in _VALID_DIMS if d != "t")
+    return list(permutations(dims))
+
+
+@dataclass(frozen=True)
+class LoopNest:
+    """A concrete loop nest: ordering, bounds and spatial unrolling.
+
+    Attributes
+    ----------
+    order:
+        Loop dimensions from outermost to innermost; must be a permutation
+        of ``("m", "n", "k", "t")``.
+    bounds:
+        Trip count of each dimension.
+    spatial:
+        Dimensions that are spatially unrolled (run on parallel hardware
+        instances instead of sequential iterations).  A spatially unrolled
+        loop neither multiplies latency nor breaks register-level reuse of
+        operands indexed by it.
+    """
+
+    order: tuple[str, ...]
+    bounds: dict[str, int] = field(default_factory=dict)
+    spatial: frozenset[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        if sorted(self.order) != sorted(_VALID_DIMS):
+            raise ValueError("order must be a permutation of %s" % (_VALID_DIMS,))
+        missing = [d for d in self.order if d not in self.bounds]
+        if missing:
+            raise ValueError("missing bounds for dimensions: %s" % missing)
+        unknown = set(self.spatial) - set(_VALID_DIMS)
+        if unknown:
+            raise ValueError("unknown spatial dimensions: %s" % sorted(unknown))
+
+    # ------------------------------------------------------------------ #
+    # Structure queries
+    # ------------------------------------------------------------------ #
+    def depth(self, dim: str) -> int:
+        """Nesting depth of ``dim`` (0 = outermost)."""
+        return self.order.index(dim)
+
+    def temporal_order(self) -> tuple[str, ...]:
+        """The loop order with spatially unrolled dimensions removed."""
+        return tuple(d for d in self.order if d not in self.spatial)
+
+    def t_position(self) -> int:
+        """Depth of the ``t`` loop in the full order."""
+        return self.depth("t")
+
+    def is_t_innermost(self) -> bool:
+        """Whether the temporal loop sits at the innermost position."""
+        return self.order[-1] == "t"
+
+    # ------------------------------------------------------------------ #
+    # Analytical access model
+    # ------------------------------------------------------------------ #
+    def iteration_space(self) -> int:
+        """Total number of scalar iterations (product of all bounds)."""
+        total = 1
+        for dim in self.order:
+            total *= self.bounds[dim]
+        return total
+
+    def operand_footprint(self, operand: str) -> int:
+        """Number of unique elements of ``operand`` touched by the nest."""
+        dims = OPERAND_INDICES[operand]
+        total = 1
+        for dim in dims:
+            total *= self.bounds[dim]
+        return total
+
+    def operand_accesses(self, operand: str) -> int:
+        """Number of (buffer) accesses made to ``operand`` by the nest.
+
+        The classic loop-nest reuse rule: the operand enjoys register-level
+        reuse only across temporal loops strictly *inside* its innermost
+        indexing loop; every iteration of the loops at or outside that level
+        re-touches it.  Spatially unrolled loops are excluded from the
+        temporal order (parallel hardware instances each hold their own
+        copy / register), matching the ``parallel-for t`` of Algorithm 1.
+        """
+        dims = OPERAND_INDICES[operand]
+        temporal = self.temporal_order()
+        indexing_depths = [i for i, d in enumerate(temporal) if d in dims]
+        if not indexing_depths:
+            # Fully reused in a register across the whole nest.
+            return 1
+        innermost = max(indexing_depths)
+        accesses = 1
+        for dim in temporal[: innermost + 1]:
+            accesses *= self.bounds[dim]
+        # Spatial dimensions that index the operand still enlarge the number
+        # of distinct elements touched (each parallel instance reads its own
+        # element), so they multiply accesses as well.
+        for dim in self.spatial:
+            if dim in dims:
+                accesses *= self.bounds[dim]
+        return accesses
+
+    def refetch_factor(self, operand: str) -> float:
+        """Accesses divided by the operand's unique footprint (>= 1)."""
+        footprint = self.operand_footprint(operand)
+        if footprint == 0:
+            return 0.0
+        return self.operand_accesses(operand) / footprint
+
+    def partial_sum_writes(self) -> int:
+        """Number of partial-sum values produced before final reduction.
+
+        A partial sum for ``C[m, n, t]`` must be materialised whenever the
+        reduction loop ``k`` is *not* the innermost temporal loop below the
+        output's indexing loops, i.e. whenever iterating other dimensions
+        between visits to the same output element.  The count equals the
+        accesses to ``C`` under the same reuse rule.
+        """
+        return self.operand_accesses("C")
+
+    def latency_iterations(self) -> int:
+        """Sequential iteration count (spatial loops do not add latency)."""
+        total = 1
+        for dim in self.temporal_order():
+            total *= self.bounds[dim]
+        return total

@@ -1,0 +1,110 @@
+"""Analysis of temporal-dimension placement in SNN spMspM dataflows.
+
+Section III of the paper derives three observations about where the ``t``
+loop can go:
+
+1. unless ``t`` sits at the innermost position, the dimensions below it are
+   re-fetched at least ``T`` more times than in the original ANN dataflow;
+2. the outer-product and Gustavson dataflows always generate ``T`` times more
+   partial sums (or ``T`` times more re-accesses), whichever position ``t``
+   takes;
+3. processing ``t`` sequentially always multiplies latency by ``T``, which
+   only spatial unrolling (``parallel-for t``) removes.
+
+This module makes those observations computable: it enumerates the possible
+placements for each base dataflow and reports refetch factors, partial-sum
+counts and sequential latency for each, so both the test suite and the
+DESIGN.md narrative can be backed by numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .loopnest import LoopNest, dataflow_base_order
+
+__all__ = ["TemporalPlacement", "enumerate_t_placements", "ftp_loopnest", "best_placement"]
+
+
+@dataclass(frozen=True)
+class TemporalPlacement:
+    """Analysis result of one (dataflow, t-position, unrolling) choice.
+
+    Attributes
+    ----------
+    dataflow:
+        Base ANN dataflow (``"IP"``, ``"OP"`` or ``"Gust"``).
+    order:
+        Full loop order including ``t`` (outermost first).
+    t_spatial:
+        Whether the ``t`` loop is spatially unrolled.
+    a_accesses / b_accesses:
+        Buffer accesses to the spike and weight operands.
+    a_refetch / b_refetch:
+        Accesses divided by the operand footprint.
+    partial_sums:
+        Partial-sum values materialised before final reduction.
+    latency_iterations:
+        Sequential iteration count (latency proxy).
+    """
+
+    dataflow: str
+    order: tuple[str, ...]
+    t_spatial: bool
+    a_accesses: int
+    b_accesses: int
+    a_refetch: float
+    b_refetch: float
+    partial_sums: int
+    latency_iterations: int
+
+
+def _analyze(dataflow: str, order: tuple[str, ...], bounds: dict[str, int], t_spatial: bool) -> TemporalPlacement:
+    nest = LoopNest(order=order, bounds=bounds, spatial=frozenset({"t"}) if t_spatial else frozenset())
+    return TemporalPlacement(
+        dataflow=dataflow,
+        order=order,
+        t_spatial=t_spatial,
+        a_accesses=nest.operand_accesses("A"),
+        b_accesses=nest.operand_accesses("B"),
+        a_refetch=nest.refetch_factor("A"),
+        b_refetch=nest.refetch_factor("B"),
+        partial_sums=nest.partial_sum_writes(),
+        latency_iterations=nest.latency_iterations(),
+    )
+
+
+def enumerate_t_placements(
+    dataflow: str,
+    bounds: dict[str, int],
+    include_spatial: bool = True,
+) -> list[TemporalPlacement]:
+    """All placements of the ``t`` loop within one base dataflow.
+
+    For each of the four insertion positions of ``t`` into the base order, a
+    sequential variant is produced; when ``include_spatial`` is set and ``t``
+    is innermost, the spatially unrolled (FTP-style) variant is appended as
+    well.
+    """
+    base = dataflow_base_order(dataflow)
+    placements: list[TemporalPlacement] = []
+    for position in range(len(base) + 1):
+        order = tuple(base[:position]) + ("t",) + tuple(base[position:])
+        placements.append(_analyze(dataflow, order, bounds, t_spatial=False))
+        if include_spatial and position == len(base):
+            placements.append(_analyze(dataflow, order, bounds, t_spatial=True))
+    return placements
+
+
+def ftp_loopnest(bounds: dict[str, int]) -> LoopNest:
+    """The FTP loop nest of Algorithm 1: IP order with ``t`` innermost, unrolled."""
+    return LoopNest(order=("m", "n", "k", "t"), bounds=bounds, spatial=frozenset({"t"}))
+
+
+def best_placement(bounds: dict[str, int]) -> TemporalPlacement:
+    """The placement FTP chooses, analysed with the same machinery.
+
+    Provided for convenience so callers comparing against the enumeration do
+    not have to re-derive the FTP configuration.
+    """
+    return _analyze("IP", ("m", "n", "k", "t"), bounds, t_spatial=True)

@@ -1,0 +1,84 @@
+"""One experiment module per table / figure of the LoAS evaluation.
+
+============  ==========================================  =======================
+Paper item    What it shows                                 Entry point
+============  ==========================================  =======================
+Table I       accelerator capability matrix                ``run_table1``
+Table II      workload sparsity statistics                 ``run_table2``
+Figure 5      GoSPA psum traffic, T=1 vs T=4               ``run_fig5``
+Figure 11     fine-tuned preprocessing accuracy            ``run_fig11``
+Figure 12     speedup & energy vs SNN baselines            ``run_fig12``
+Figure 13     off-chip / on-chip traffic                   ``run_fig13``
+Figure 14     traffic breakdown + SRAM miss rate           ``run_fig14``
+Table IV      area / power breakdown                       ``run_table4``
+Figure 15     power breakup pies                           ``run_table4``
+Figure 16     temporal scalability                         ``run_fig16``
+Figure 17     sparsity / timestep / size scalability       ``run_fig17``
+Figure 18     dual-sparse SNN vs dual-sparse ANN           ``run_fig18``
+Figure 19     LoAS vs dense SNN accelerators               ``run_fig19``
+============  ==========================================  =======================
+
+Every ``run_*`` function accepts a ``scale`` parameter (where applicable)
+that proportionally shrinks the workload dimensions while preserving the
+sparsity profiles, so the whole suite can be exercised quickly by the tests
+and benchmarks; ``scale=1.0`` reproduces the paper-sized workloads.
+"""
+
+from .ablations import format_fig5, format_fig16, format_fig17, run_fig5, run_fig16, run_fig17
+from .comparisons import (
+    format_fig11,
+    format_fig18,
+    format_fig19,
+    run_fig11,
+    run_fig18,
+    run_fig19,
+)
+from .performance import (
+    format_fig12,
+    format_fig13,
+    format_fig14,
+    run_fig12,
+    run_fig13,
+    run_fig14,
+)
+from .sweeps import DEFAULT_LAYERS, DEFAULT_NETWORKS, run_layers, run_networks, snn_accelerators
+from .tables import (
+    format_table1,
+    format_table2,
+    format_table4,
+    run_table1,
+    run_table2,
+    run_table4,
+)
+
+__all__ = [
+    "DEFAULT_LAYERS",
+    "DEFAULT_NETWORKS",
+    "format_fig5",
+    "format_fig11",
+    "format_fig12",
+    "format_fig13",
+    "format_fig14",
+    "format_fig16",
+    "format_fig17",
+    "format_fig18",
+    "format_fig19",
+    "format_table1",
+    "format_table2",
+    "format_table4",
+    "run_fig5",
+    "run_fig11",
+    "run_fig12",
+    "run_fig13",
+    "run_fig14",
+    "run_fig16",
+    "run_fig17",
+    "run_fig18",
+    "run_fig19",
+    "run_layers",
+    "run_networks",
+    "run_table1",
+    "run_table2",
+    "run_table4",
+    "snn_accelerators",
+]

@@ -1,0 +1,173 @@
+"""Figures 5, 16 and 17: motivation and ablation studies.
+
+* Figure 5 -- off-chip partial-sum traffic of GoSPA (outer-product) running
+  SNN layers with 1 vs 4 timesteps, the motivating observation that the
+  temporal dimension multiplies psum traffic.
+* Figure 16 -- (a) TPPE area / power scaling with the number of timesteps and
+  (b) the silent-neuron ratio of VGG16 as the number of timesteps grows,
+  with and without the fine-tuned preprocessing.
+* Figure 17 -- LoAS scalability across weight sparsity levels, timesteps and
+  layer size (V-L8 vs the SpikeTransformer hidden feed-forward layer).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..arch.area import tppe_scaling
+from ..baselines import GoSPASNN
+from ..core import LoASConfig, LoASSimulator
+from ..metrics.report import format_series, format_table
+from ..snn.network import LayerShape
+from ..snn.workloads import LayerWorkload, SparsityProfile, TABLE2_LAYER_PROFILES, get_layer_workload
+from ..sparse.matrix import random_spike_tensor, silent_neuron_fraction, mask_low_activity_neurons
+
+__all__ = [
+    "run_fig5",
+    "format_fig5",
+    "run_fig16",
+    "format_fig16",
+    "run_fig17",
+    "format_fig17",
+]
+
+_FIG5_LAYERS = ("A-L4", "V-L8", "R-L19")
+
+
+def run_fig5(
+    layers: tuple[str, ...] = _FIG5_LAYERS,
+    scale: float = 1.0,
+    seed: int = 1,
+) -> dict[str, dict[str, float]]:
+    """Off-chip psum traffic (KB) of GoSPA-SNN at T = 1 and T = 4 (Figure 5)."""
+    results: dict[str, dict[str, float]] = {}
+    for name in layers:
+        per_t: dict[str, float] = {}
+        for timesteps in (1, 4):
+            workload = get_layer_workload(name, timesteps=timesteps)
+            if scale != 1.0:
+                workload = workload.scaled(scale)
+            simulator = GoSPASNN()
+            result = simulator.simulate_workload(workload, rng=np.random.default_rng(seed))
+            per_t[f"T={timesteps}"] = result.dram.get("psum") / 1e3
+        results[name] = per_t
+    return results
+
+
+def format_fig5(scale: float = 0.5, seed: int = 1) -> str:
+    """ASCII rendition of Figure 5."""
+    return format_series(
+        run_fig5(scale=scale, seed=seed),
+        title="Figure 5: off-chip psum traffic (KB) on GoSPA-SNN",
+    )
+
+
+def run_fig16(
+    timesteps: tuple[int, ...] = (4, 8, 16),
+    scale: float = 0.25,
+    seed: int = 0,
+) -> dict[str, dict[str, float]]:
+    """TPPE scaling and silent-neuron ratio versus timesteps (Figure 16)."""
+    area: dict[str, float] = {}
+    power: dict[str, float] = {}
+    for t in timesteps:
+        area_ratio, power_ratio = tppe_scaling(t)
+        area[f"T={t}"] = area_ratio
+        power[f"T={t}"] = power_ratio
+
+    # Silent-neuron scaling on the VGG16 (V-L8) sparsity profile: more
+    # timesteps mean more chances to fire, so the silent fraction decays; the
+    # preprocessing recovers part of it.
+    profile = TABLE2_LAYER_PROFILES["V-L8"]
+    base_shape = get_layer_workload("V-L8").shape.scaled(scale)
+    silent_origin: dict[str, float] = {}
+    silent_ft: dict[str, float] = {}
+    rng = np.random.default_rng(seed)
+    reference = None
+    for t in timesteps:
+        per_timestep_fire = (1.0 - profile.silent_fraction) / 4.0
+        silent_target = max(0.05, 1.0 - per_timestep_fire * t)
+        spikes = random_spike_tensor(
+            base_shape.m,
+            base_shape.k,
+            t,
+            spike_sparsity=profile.spike_sparsity,
+            silent_fraction=silent_target,
+            rng=rng,
+        )
+        origin = silent_neuron_fraction(spikes)
+        finetuned = silent_neuron_fraction(mask_low_activity_neurons(spikes, max_spikes=1))
+        if reference is None:
+            reference = origin
+        silent_origin[f"T={t}"] = origin / reference
+        silent_ft[f"T={t}"] = finetuned / reference
+    return {
+        "tppe_area_ratio": area,
+        "tppe_power_ratio": power,
+        "silent_ratio_origin": silent_origin,
+        "silent_ratio_finetuned": silent_ft,
+    }
+
+
+def format_fig16(scale: float = 0.25, seed: int = 0) -> str:
+    """ASCII rendition of Figure 16."""
+    return format_series(run_fig16(scale=scale, seed=seed), title="Figure 16: temporal scalability")
+
+
+def run_fig17(
+    scale: float = 0.25,
+    seed: int = 1,
+    timesteps: tuple[int, ...] = (4, 8),
+    weight_sparsities: tuple[float, ...] = (0.982, 0.684, 0.25),
+) -> dict[str, dict[str, float]]:
+    """LoAS scalability sweeps (Figure 17): weight sparsity, timesteps, layer size."""
+    results: dict[str, dict[str, float]] = {"weight_sparsity": {}, "timesteps": {}, "layer_size": {}}
+    base = get_layer_workload("V-L8").scaled(scale)
+
+    # Sweep 1: weight sparsity (High / Medium / Low).
+    reference_cycles = None
+    for sparsity_level in weight_sparsities:
+        profile = SparsityProfile(
+            base.profile.spike_sparsity,
+            base.profile.silent_fraction,
+            base.profile.silent_fraction_finetuned,
+            sparsity_level,
+        )
+        workload = LayerWorkload(base.shape, profile)
+        result = LoASSimulator().simulate_workload(workload, rng=np.random.default_rng(seed))
+        if reference_cycles is None:
+            reference_cycles = result.cycles
+        results["weight_sparsity"][f"B={sparsity_level:.1%}"] = reference_cycles / result.cycles
+
+    # Sweep 2: timesteps.
+    reference_cycles = None
+    for t in timesteps:
+        shape = LayerShape(base.shape.name, base.shape.m, base.shape.k, base.shape.n, t)
+        workload = LayerWorkload(shape, base.profile)
+        config = LoASConfig().with_timesteps(t)
+        result = LoASSimulator(config).simulate_workload(workload, rng=np.random.default_rng(seed))
+        if reference_cycles is None:
+            reference_cycles = result.cycles
+        # Relative performance (inverse latency); the paper reports only a
+        # ~14 % loss when the number of timesteps doubles.
+        results["timesteps"][f"T={t}"] = reference_cycles / result.cycles
+
+    # Sweep 3: layer size (V-L8 vs the SpikeTransformer hidden FF layer).
+    for layer_name in ("V-L8", "T-HFF"):
+        workload = get_layer_workload(layer_name).scaled(scale)
+        result = LoASSimulator().simulate_workload(workload, rng=np.random.default_rng(seed))
+        throughput = result.ops.get("true_accumulations", 0.0) / result.cycles if result.cycles else 0.0
+        results["layer_size"][layer_name] = throughput
+    reference = results["layer_size"]["V-L8"] or 1.0
+    results["layer_size"] = {k: v / reference for k, v in results["layer_size"].items()}
+    return results
+
+
+def format_fig17(scale: float = 0.25, seed: int = 1) -> str:
+    """ASCII rendition of Figure 17."""
+    data = run_fig17(scale=scale, seed=seed)
+    blocks = []
+    for sweep, values in data.items():
+        rows = [[label, value] for label, value in values.items()]
+        blocks.append(format_table(["Setting", "Relative performance"], rows, title=f"Figure 17: {sweep}"))
+    return "\n\n".join(blocks)

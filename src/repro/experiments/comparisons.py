@@ -1,0 +1,159 @@
+"""Figures 11, 18 and 19: preprocessing accuracy, SNN-vs-ANN, dense baselines.
+
+* Figure 11 -- accuracy trajectory of the fine-tuned preprocessing: train a
+  (toy) SNN, mask the low-activity neurons, fine-tune for 1 / 5 / 10 epochs.
+* Figure 18 -- dual-sparse SNN on LoAS versus the dual-sparse ANN version of
+  the same workload on SparTen and Gamma (energy and memory traffic).
+* Figure 19 -- LoAS on the dual-sparse workload versus the dense SNN
+  accelerators PTB and Stellar.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines import (
+    GammaANN,
+    PTBSimulator,
+    SparTenANN,
+    StellarSimulator,
+    ann_layer_tensors,
+)
+from ..core import LoASSimulator
+from ..metrics.report import format_series, format_table
+from ..metrics.results import aggregate_results
+from ..snn.preprocessing import finetuned_preprocessing_experiment
+from ..snn.training import (
+    SpikingMLP,
+    TrainingConfig,
+    make_synthetic_classification,
+    train,
+)
+from ..snn.workloads import get_network_workload
+from .sweeps import scaled_network
+
+__all__ = [
+    "run_fig11",
+    "format_fig11",
+    "run_fig18",
+    "format_fig18",
+    "run_fig19",
+    "format_fig19",
+]
+
+
+def run_fig11(
+    num_samples: int = 400,
+    num_features: int = 32,
+    num_classes: int = 4,
+    hidden: int = 64,
+    epochs: int = 12,
+    finetune_epochs: tuple[int, ...] = (1, 5, 10),
+    seed: int = 0,
+) -> dict[str, float]:
+    """Accuracy before masking, after masking and after fine-tuning (Figure 11)."""
+    rng = np.random.default_rng(seed)
+    inputs, labels = make_synthetic_classification(num_samples, num_features, num_classes, rng=rng)
+    split = int(0.8 * num_samples)
+    train_x, train_y = inputs[:split], labels[:split]
+    test_x, test_y = inputs[split:], labels[split:]
+
+    model = SpikingMLP([num_features, hidden, num_classes], timesteps=4, rng=rng)
+    config = TrainingConfig(epochs=epochs, learning_rate=0.05)
+    train(model, train_x, train_y, config, rng=rng)
+
+    outcome = finetuned_preprocessing_experiment(
+        model,
+        train_x,
+        train_y,
+        test_x,
+        test_y,
+        finetune_epochs=finetune_epochs,
+        training=TrainingConfig(epochs=1, learning_rate=0.05),
+        rng=rng,
+    )
+    result = {
+        "origin": outcome.original_accuracy,
+        "mask": outcome.masked_accuracy,
+        "masked_fraction": outcome.masked_fraction,
+    }
+    for epoch, accuracy in outcome.finetuned_accuracy.items():
+        result[f"ft_e{epoch}"] = accuracy
+    return result
+
+
+def format_fig11(seed: int = 0) -> str:
+    """ASCII rendition of Figure 11."""
+    data = run_fig11(seed=seed)
+    rows = [[key, value] for key, value in data.items()]
+    return format_table(["Stage", "Accuracy"], rows, title="Figure 11: fine-tuned preprocessing accuracy")
+
+
+def run_fig18(
+    network: str = "vgg16",
+    scale: float = 1.0,
+    seed: int = 1,
+) -> dict[str, dict[str, float]]:
+    """Dual-sparse SNN (LoAS) versus dual-sparse ANN (SparTen / Gamma), Figure 18."""
+    snn_network = scaled_network(network, scale)
+    loas = LoASSimulator().simulate_network(
+        snn_network, rng=np.random.default_rng(seed), finetuned=True, preprocess=True
+    )
+
+    ann_results = {}
+    for simulator in (SparTenANN(), GammaANN()):
+        layer_results = []
+        rng = np.random.default_rng(seed)
+        for layer in snn_network.layers:
+            activations, weights = ann_layer_tensors(layer, rng=rng)
+            layer_results.append(simulator.simulate_layer(activations, weights, name=layer.name))
+        ann_results[simulator.name] = aggregate_results(
+            layer_results, accelerator=simulator.name, workload=network
+        )
+
+    everything = {"LoAS (SNN)": loas, **{f"{k} (ANN)": v for k, v in ann_results.items()}}
+    reference_energy = loas.energy_pj or 1.0
+    reference_dram = loas.dram_bytes or 1.0
+    reference_sram = loas.sram_bytes or 1.0
+    return {
+        name: {
+            "normalized_energy": result.energy_pj / reference_energy,
+            "normalized_dram": result.dram_bytes / reference_dram,
+            "normalized_sram": result.sram_bytes / reference_sram,
+            "data_movement_fraction": result.energy.data_movement_fraction(),
+        }
+        for name, result in everything.items()
+    }
+
+
+def format_fig18(scale: float = 0.25, seed: int = 1) -> str:
+    """ASCII rendition of Figure 18."""
+    return format_series(run_fig18(scale=scale, seed=seed), title="Figure 18: dual-sparse SNN vs dual-sparse ANN (normalised to LoAS)")
+
+
+def run_fig19(
+    network: str = "vgg16",
+    scale: float = 1.0,
+    seed: int = 1,
+) -> dict[str, dict[str, float]]:
+    """LoAS versus the dense SNN accelerators PTB and Stellar (Figure 19)."""
+    snn_network = scaled_network(network, scale)
+    rng_seed = seed
+    loas = LoASSimulator().simulate_network(snn_network, rng=np.random.default_rng(rng_seed))
+    ptb = PTBSimulator().simulate_network(snn_network, rng=np.random.default_rng(rng_seed))
+    stellar = StellarSimulator().simulate_network(snn_network, rng=np.random.default_rng(rng_seed))
+    results = {"LoAS": loas, "PTB": ptb, "Stellar": stellar}
+    return {
+        name: {
+            "speedup_vs_ptb": ptb.cycles / result.cycles,
+            "normalized_energy": result.energy_pj / loas.energy_pj,
+            "normalized_dram": result.dram_bytes / loas.dram_bytes,
+            "normalized_sram": result.sram_bytes / loas.sram_bytes,
+        }
+        for name, result in results.items()
+    }
+
+
+def format_fig19(scale: float = 0.25, seed: int = 1) -> str:
+    """ASCII rendition of Figure 19."""
+    return format_series(run_fig19(scale=scale, seed=seed), title="Figure 19: LoAS vs dense SNN accelerators (normalised to LoAS)")

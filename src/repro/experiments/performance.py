@@ -1,0 +1,160 @@
+"""Figures 12, 13 and 14: overall performance, traffic and its breakdown.
+
+Figure 12 reports speedup and energy efficiency of LoAS (with and without the
+fine-tuned preprocessing) against SparTen-SNN, GoSPA-SNN and Gamma-SNN on the
+three full SNN workloads, everything normalised to SparTen-SNN.  Figure 13
+reports the corresponding off-chip and on-chip traffic, and Figure 14 breaks
+the off-chip traffic of the three representative layers into input / weight /
+psum / other components and adds the normalised SRAM miss rate.
+"""
+
+from __future__ import annotations
+
+from ..metrics.report import format_series, format_table
+from .sweeps import DEFAULT_LAYERS, DEFAULT_NETWORKS, run_layers, run_networks
+
+__all__ = [
+    "run_fig12",
+    "format_fig12",
+    "run_fig13",
+    "format_fig13",
+    "run_fig14",
+    "format_fig14",
+]
+
+_REFERENCE = "SparTen-SNN"
+
+
+def run_fig12(
+    networks: tuple[str, ...] = DEFAULT_NETWORKS,
+    scale: float = 1.0,
+    seed: int = 1,
+) -> dict[str, dict[str, dict[str, float]]]:
+    """Speedup and energy efficiency normalised to SparTen-SNN (Figure 12)."""
+    raw = run_networks(networks=networks, scale=scale, seed=seed)
+    output: dict[str, dict[str, dict[str, float]]] = {}
+    for network, per_accel in raw.items():
+        reference = per_accel[_REFERENCE]
+        output[network] = {
+            accel: {
+                "speedup": reference.cycles / result.cycles,
+                "energy_efficiency": reference.energy_pj / result.energy_pj,
+                "cycles": result.cycles,
+                "energy_pj": result.energy_pj,
+            }
+            for accel, result in per_accel.items()
+        }
+    return output
+
+
+def format_fig12(scale: float = 0.25, seed: int = 1) -> str:
+    """ASCII rendition of Figure 12."""
+    data = run_fig12(scale=scale, seed=seed)
+    speed = {
+        network: {accel: stats["speedup"] for accel, stats in per.items()}
+        for network, per in data.items()
+    }
+    energy = {
+        network: {accel: stats["energy_efficiency"] for accel, stats in per.items()}
+        for network, per in data.items()
+    }
+    return (
+        format_series(speed, title="Figure 12 (top): speedup over SparTen-SNN")
+        + "\n\n"
+        + format_series(energy, title="Figure 12 (bottom): energy efficiency over SparTen-SNN")
+    )
+
+
+def run_fig13(
+    networks: tuple[str, ...] = DEFAULT_NETWORKS,
+    scale: float = 1.0,
+    seed: int = 1,
+) -> dict[str, dict[str, dict[str, float]]]:
+    """Off-chip (KB) and on-chip (MB) traffic per accelerator (Figure 13)."""
+    raw = run_networks(networks=networks, scale=scale, seed=seed)
+    return {
+        network: {
+            accel: {
+                "offchip_kb": result.dram_bytes / 1e3,
+                "onchip_mb": result.sram_bytes / 1e6,
+            }
+            for accel, result in per_accel.items()
+        }
+        for network, per_accel in raw.items()
+    }
+
+
+def format_fig13(scale: float = 0.25, seed: int = 1) -> str:
+    """ASCII rendition of Figure 13."""
+    data = run_fig13(scale=scale, seed=seed)
+    offchip = {
+        network: {accel: stats["offchip_kb"] for accel, stats in per.items()}
+        for network, per in data.items()
+    }
+    onchip = {
+        network: {accel: stats["onchip_mb"] for accel, stats in per.items()}
+        for network, per in data.items()
+    }
+    return (
+        format_series(offchip, title="Figure 13 (top): off-chip traffic (KB)")
+        + "\n\n"
+        + format_series(onchip, title="Figure 13 (bottom): on-chip traffic (MB)")
+    )
+
+
+def run_fig14(
+    layers: tuple[str, ...] = DEFAULT_LAYERS,
+    scale: float = 1.0,
+    seed: int = 1,
+) -> dict[str, dict[str, dict[str, float]]]:
+    """Off-chip traffic breakdown and SRAM miss rate per layer (Figure 14).
+
+    Everything is normalised to LoAS, as in the paper.
+    """
+    raw = run_layers(layers=layers, scale=scale, seed=seed)
+    output: dict[str, dict[str, dict[str, float]]] = {}
+    for layer, per_accel in raw.items():
+        loas = per_accel["LoAS"]
+        loas_total = loas.dram_bytes or 1.0
+        loas_miss = loas.sram_miss_rate or 1e-9
+        output[layer] = {}
+        for accel, result in per_accel.items():
+            breakdown = result.dram.as_dict()
+            output[layer][accel] = {
+                "weight": breakdown.get("weight", 0.0) / loas_total,
+                "input": breakdown.get("input", 0.0) / loas_total,
+                "psum": breakdown.get("psum", 0.0) / loas_total,
+                "format": breakdown.get("format", 0.0) / loas_total,
+                "output": breakdown.get("output", 0.0) / loas_total,
+                "total": result.dram_bytes / loas_total,
+                "normalized_miss_rate": result.sram_miss_rate / loas_miss,
+            }
+    return output
+
+
+def format_fig14(scale: float = 0.5, seed: int = 1) -> str:
+    """ASCII rendition of Figure 14."""
+    data = run_fig14(scale=scale, seed=seed)
+    blocks = []
+    for layer, per_accel in data.items():
+        rows = [
+            [
+                accel,
+                stats["input"],
+                stats["weight"],
+                stats["psum"],
+                stats["format"],
+                stats["output"],
+                stats["total"],
+                stats["normalized_miss_rate"],
+            ]
+            for accel, stats in per_accel.items()
+        ]
+        blocks.append(
+            format_table(
+                ["Accelerator", "Input", "Weight", "Psum", "Format", "Output", "Total", "Norm. miss"],
+                rows,
+                title=f"Figure 14: off-chip traffic breakdown, normalised to LoAS ({layer})",
+            )
+        )
+    return "\n\n".join(blocks)

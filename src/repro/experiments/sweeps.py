@@ -1,0 +1,100 @@
+"""Shared sweep helpers for the experiment modules.
+
+Every experiment module exposes a ``run(...)`` function returning a plain
+dictionary of results plus a ``format_result`` helper producing the ASCII
+table printed by the benchmark harness.  The helpers here implement the
+common pattern: run a set of accelerators over a set of workloads and gather
+the :class:`~repro.metrics.results.SimulationResult` objects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines import GammaSNN, GoSPASNN, SparTenSNN
+from ..core import LoASSimulator
+from ..metrics.results import SimulationResult
+from ..snn.workloads import NetworkWorkload, get_layer_workload, get_network_workload
+
+__all__ = [
+    "snn_accelerators",
+    "run_networks",
+    "run_layers",
+    "DEFAULT_NETWORKS",
+    "DEFAULT_LAYERS",
+]
+
+#: Full-network workloads evaluated in Figures 12 and 13.
+DEFAULT_NETWORKS = ("alexnet", "vgg16", "resnet19")
+
+#: Representative layers evaluated in Figure 14.
+DEFAULT_LAYERS = ("A-L4", "V-L8", "R-L19")
+
+
+def snn_accelerators(config=None) -> dict[str, object]:
+    """The dual-sparse SNN accelerators compared throughout the evaluation."""
+    return {
+        "SparTen-SNN": SparTenSNN(config),
+        "GoSPA-SNN": GoSPASNN(config),
+        "Gamma-SNN": GammaSNN(config),
+        "LoAS": LoASSimulator(config),
+    }
+
+
+def run_networks(
+    networks: tuple[str, ...] = DEFAULT_NETWORKS,
+    scale: float = 1.0,
+    seed: int = 1,
+    include_finetuned: bool = True,
+    config=None,
+) -> dict[str, dict[str, SimulationResult]]:
+    """Simulate every accelerator on every full-network workload.
+
+    Returns ``{network: {accelerator: result}}``; when ``include_finetuned``
+    is set an extra ``"LoAS-FT"`` entry runs LoAS with the fine-tuned
+    preprocessing.  ``scale`` shrinks the layer dimensions proportionally for
+    quick runs (sparsity profiles are preserved).
+    """
+    results: dict[str, dict[str, SimulationResult]] = {}
+    for name in networks:
+        network = get_network_workload(name)
+        if scale != 1.0:
+            network = network.scaled(scale)
+        per_accelerator: dict[str, SimulationResult] = {}
+        for accel_name, simulator in snn_accelerators(config).items():
+            per_accelerator[accel_name] = simulator.simulate_network(
+                network, rng=np.random.default_rng(seed)
+            )
+        if include_finetuned:
+            per_accelerator["LoAS-FT"] = LoASSimulator(config).simulate_network(
+                network, rng=np.random.default_rng(seed), finetuned=True, preprocess=True
+            )
+        results[name] = per_accelerator
+    return results
+
+
+def run_layers(
+    layers: tuple[str, ...] = DEFAULT_LAYERS,
+    scale: float = 1.0,
+    seed: int = 1,
+    config=None,
+) -> dict[str, dict[str, SimulationResult]]:
+    """Simulate every accelerator on every representative layer workload."""
+    results: dict[str, dict[str, SimulationResult]] = {}
+    for name in layers:
+        workload = get_layer_workload(name)
+        if scale != 1.0:
+            workload = workload.scaled(scale)
+        per_accelerator: dict[str, SimulationResult] = {}
+        for accel_name, simulator in snn_accelerators(config).items():
+            per_accelerator[accel_name] = simulator.simulate_workload(
+                workload, rng=np.random.default_rng(seed)
+            )
+        results[name] = per_accelerator
+    return results
+
+
+def scaled_network(name: str, scale: float) -> NetworkWorkload:
+    """Convenience wrapper: a (possibly scaled) full-network workload."""
+    network = get_network_workload(name)
+    return network.scaled(scale) if scale != 1.0 else network

@@ -1,0 +1,13 @@
+"""Result containers and plain-text reporting for the experiment harness."""
+
+from .report import format_ratio, format_series, format_table, normalise
+from .results import SimulationResult, aggregate_results
+
+__all__ = [
+    "SimulationResult",
+    "aggregate_results",
+    "format_ratio",
+    "format_series",
+    "format_table",
+    "normalise",
+]

@@ -1,0 +1,65 @@
+"""Plain-text reporting helpers used by the benchmark harness.
+
+The harness regenerates the paper's tables and figure series as ASCII tables
+printed to stdout (matplotlib is intentionally not a dependency).  These
+helpers keep the formatting consistent across the experiment modules.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "normalise", "format_ratio"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str | None = None) -> str:
+    """Render ``rows`` under ``headers`` as a fixed-width ASCII table."""
+    string_rows = [[_stringify(cell) for cell in row] for row in rows]
+    widths = [len(str(h)) for h in headers]
+    for row in string_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in string_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(series: Mapping[str, Mapping[str, float]], title: str | None = None, precision: int = 3) -> str:
+    """Render a nested mapping ``{series_name: {x_label: value}}`` as a table."""
+    x_labels: list[str] = []
+    for values in series.values():
+        for label in values:
+            if label not in x_labels:
+                x_labels.append(label)
+    headers = ["series"] + list(x_labels)
+    rows = []
+    for name, values in series.items():
+        rows.append([name] + [round(values.get(label, float("nan")), precision) for label in x_labels])
+    return format_table(headers, rows, title=title)
+
+
+def normalise(values: Mapping[str, float], reference: str) -> dict[str, float]:
+    """Normalise a mapping of values to the entry named ``reference``."""
+    if reference not in values:
+        raise KeyError("reference %r not present in values" % reference)
+    base = values[reference]
+    if base == 0:
+        raise ZeroDivisionError("reference value is zero")
+    return {name: value / base for name, value in values.items()}
+
+
+def format_ratio(value: float, precision: int = 2) -> str:
+    """Format a ratio as e.g. ``"3.25x"``."""
+    return f"{value:.{precision}f}x"
+
+
+def _stringify(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)

@@ -1,0 +1,78 @@
+"""Spike encoding front ends.
+
+Recent SNN works (including every workload evaluated by LoAS) use *direct
+encoding*: the analog input first passes through one ANN layer whose output
+current is fed to LIF neurons at every timestep, producing a spike train in
+very few timesteps.  A classic Poisson rate encoder is also provided for the
+examples and for property tests of the temporal statistics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .lif import LIFParameters, lif_fire
+
+__all__ = ["direct_encode", "poisson_encode", "rate_decode"]
+
+
+def direct_encode(
+    inputs: np.ndarray,
+    encoder_weights: np.ndarray,
+    timesteps: int,
+    lif: LIFParameters | None = None,
+) -> np.ndarray:
+    """Direct (rate) encoding through one ANN layer followed by LIF neurons.
+
+    Parameters
+    ----------
+    inputs:
+        Analog input matrix of shape ``(M, F)`` (e.g. flattened pixels).
+    encoder_weights:
+        Weights of the encoding ANN layer, shape ``(F, K)``.
+    timesteps:
+        Number of timesteps ``T`` to unroll.
+    lif:
+        Parameters of the encoding LIF neurons.
+
+    Returns
+    -------
+    Unary spike tensor of shape ``(M, K, T)``.
+    """
+    inputs = np.asarray(inputs, dtype=np.float64)
+    encoder_weights = np.asarray(encoder_weights, dtype=np.float64)
+    if inputs.ndim != 2 or encoder_weights.ndim != 2:
+        raise ValueError("inputs must be (M, F) and encoder_weights must be (F, K)")
+    if inputs.shape[1] != encoder_weights.shape[0]:
+        raise ValueError("feature dimension mismatch between inputs and encoder weights")
+    currents = inputs @ encoder_weights
+    # The same current is injected at every timestep; the LIF dynamics turn
+    # it into a rate-coded spike train.
+    repeated = np.repeat(currents[:, :, None], timesteps, axis=2)
+    return lif_fire(repeated, lif or LIFParameters())
+
+
+def poisson_encode(
+    inputs: np.ndarray,
+    timesteps: int,
+    rng: np.random.Generator | None = None,
+    max_rate: float = 1.0,
+) -> np.ndarray:
+    """Poisson (Bernoulli-per-timestep) rate encoding of values in ``[0, 1]``.
+
+    Each input value ``p`` fires independently at each timestep with
+    probability ``p * max_rate``.
+    """
+    rng = np.random.default_rng() if rng is None else rng
+    inputs = np.clip(np.asarray(inputs, dtype=np.float64), 0.0, 1.0)
+    probabilities = inputs * max_rate
+    draws = rng.random(inputs.shape + (timesteps,))
+    return (draws < probabilities[..., None]).astype(np.uint8)
+
+
+def rate_decode(spikes: np.ndarray) -> np.ndarray:
+    """Decode a spike train back to a rate: mean firing over the time axis."""
+    spikes = np.asarray(spikes)
+    if spikes.ndim < 1:
+        raise ValueError("expected a spike tensor with a trailing time axis")
+    return spikes.mean(axis=-1)

@@ -1,0 +1,125 @@
+"""Lottery-ticket-hypothesis (LTH) style pruning for the toy spiking MLP.
+
+The LoAS workloads are pruned with the open-source LTH toolchain of
+Kim et al. (ECCV'22): iterative magnitude pruning with weight rewinding to
+the original initialisation, repeated for several rounds until the target
+weight sparsity (up to ~98 %) is reached.  This module implements that
+procedure for :class:`repro.snn.training.SpikingMLP` so the full algorithmic
+pipeline of the paper (train -> prune -> preprocess -> accelerate) can be run
+at laptop scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .training import SpikingMLP, TrainingConfig, evaluate_accuracy, train
+
+__all__ = ["PruningConfig", "PruningRoundResult", "magnitude_prune_masks", "lottery_ticket_prune", "weight_sparsity"]
+
+
+@dataclass
+class PruningConfig:
+    """Configuration of the iterative LTH pruning loop.
+
+    Attributes
+    ----------
+    rounds:
+        Number of prune-retrain rounds (the paper uses 15).
+    prune_fraction:
+        Fraction of the currently remaining weights removed each round.
+    training:
+        Training hyper-parameters used to retrain after each round.
+    rewind:
+        Rewind surviving weights to their initial values after each round
+        (the defining step of the lottery-ticket procedure).
+    """
+
+    rounds: int = 5
+    prune_fraction: float = 0.4
+    training: TrainingConfig = field(default_factory=TrainingConfig)
+    rewind: bool = True
+
+
+@dataclass
+class PruningRoundResult:
+    """Outcome of one pruning round."""
+
+    round_index: int
+    weight_sparsity: float
+    accuracy: float
+
+
+def weight_sparsity(model: SpikingMLP) -> float:
+    """Overall fraction of pruned weights across all layers of the model."""
+    total = sum(mask.size for mask in model.masks)
+    kept = sum(int(mask.sum()) for mask in model.masks)
+    if total == 0:
+        return 0.0
+    return 1.0 - kept / total
+
+
+def magnitude_prune_masks(model: SpikingMLP, prune_fraction: float) -> list[np.ndarray]:
+    """Compute new pruning masks removing the smallest surviving weights.
+
+    Pruning is global across layers: the ``prune_fraction`` smallest-magnitude
+    weights among the currently surviving ones are removed.
+    """
+    if not 0.0 <= prune_fraction < 1.0:
+        raise ValueError("prune_fraction must lie in [0, 1)")
+    magnitudes = []
+    for w, m in zip(model.weights, model.masks):
+        magnitudes.append(np.abs(w[m]))
+    surviving = np.concatenate(magnitudes) if magnitudes else np.array([])
+    if surviving.size == 0:
+        return [m.copy() for m in model.masks]
+    k = int(np.floor(prune_fraction * surviving.size))
+    if k == 0:
+        return [m.copy() for m in model.masks]
+    threshold = np.partition(surviving, k - 1)[k - 1]
+    new_masks = []
+    for w, m in zip(model.weights, model.masks):
+        new_mask = m & (np.abs(w) > threshold)
+        new_masks.append(new_mask)
+    return new_masks
+
+
+def lottery_ticket_prune(
+    model: SpikingMLP,
+    inputs: np.ndarray,
+    labels: np.ndarray,
+    config: PruningConfig | None = None,
+    rng: np.random.Generator | None = None,
+) -> list[PruningRoundResult]:
+    """Run iterative magnitude pruning with rewinding on a spiking MLP.
+
+    The model is trained, pruned, (optionally) rewound to its initial
+    weights, and retrained, for ``config.rounds`` rounds.  Returns the
+    per-round sparsity and accuracy history; the model is modified in place.
+    """
+    config = config or PruningConfig()
+    rng = np.random.default_rng() if rng is None else rng
+    initial_weights = [w.copy() for w in model.weights]
+
+    history: list[PruningRoundResult] = []
+    train(model, inputs, labels, config.training, rng=rng)
+    history.append(
+        PruningRoundResult(0, weight_sparsity(model), evaluate_accuracy(model, inputs, labels))
+    )
+
+    for round_index in range(1, config.rounds + 1):
+        model.masks = magnitude_prune_masks(model, config.prune_fraction)
+        if config.rewind:
+            for w, init in zip(model.weights, initial_weights):
+                w[...] = init
+        train(model, inputs, labels, config.training, rng=rng)
+        history.append(
+            PruningRoundResult(
+                round_index,
+                weight_sparsity(model),
+                evaluate_accuracy(model, inputs, labels),
+            )
+        )
+    return history

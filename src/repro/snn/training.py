@@ -1,0 +1,279 @@
+"""Toy-scale surrogate-gradient BPTT trainer for spiking MLPs.
+
+The LoAS paper trains its workloads with backpropagation-through-time and a
+surrogate gradient, then applies lottery-ticket pruning and the fine-tuned
+silent-neuron preprocessing.  Real CIFAR training is out of scope for an
+offline reproduction, so this module provides a small NumPy implementation of
+the same training pipeline on synthetic classification data.  It is used to:
+
+* demonstrate the algorithmic pipeline end to end (examples),
+* reproduce the *shape* of Figure 11 (accuracy drop after masking low
+  activity neurons and recovery after a few fine-tuning epochs), and
+* feed realistic (trained, not random) sparsity structure into the pruning
+  and preprocessing tests.
+
+The implementation is intentionally simple: fully-connected layers, LIF
+neurons with a piecewise-linear surrogate derivative, spike-count readout,
+softmax cross-entropy loss and plain SGD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .lif import LIFParameters
+
+__all__ = [
+    "TrainingConfig",
+    "SpikingMLP",
+    "make_synthetic_classification",
+    "train",
+    "evaluate_accuracy",
+]
+
+
+@dataclass
+class TrainingConfig:
+    """Hyper-parameters of the toy BPTT trainer."""
+
+    epochs: int = 10
+    learning_rate: float = 0.05
+    batch_size: int = 32
+    surrogate_width: float = 1.0
+
+
+def make_synthetic_classification(
+    num_samples: int,
+    num_features: int,
+    num_classes: int,
+    rng: np.random.Generator | None = None,
+    cluster_spread: float = 0.6,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Gaussian-cluster classification data in ``[0, 1]`` feature space.
+
+    Returns ``(inputs, labels)`` where ``inputs`` has shape
+    ``(num_samples, num_features)`` and labels are integers in
+    ``[0, num_classes)``.
+    """
+    rng = np.random.default_rng() if rng is None else rng
+    centers = rng.random((num_classes, num_features))
+    labels = rng.integers(0, num_classes, size=num_samples)
+    inputs = centers[labels] + rng.normal(0.0, cluster_spread / num_classes, size=(num_samples, num_features))
+    inputs = np.clip(inputs, 0.0, 1.0)
+    return inputs, labels
+
+
+def _surrogate_grad(potential: np.ndarray, threshold: float, width: float) -> np.ndarray:
+    """Piecewise-linear surrogate derivative of the spike function."""
+    return np.clip(1.0 - np.abs(potential - threshold) / width, 0.0, None)
+
+
+class SpikingMLP:
+    """A fully-connected spiking network trained with surrogate-gradient BPTT.
+
+    Parameters
+    ----------
+    layer_sizes:
+        Sizes of the layers including input and output, e.g.
+        ``[64, 128, 10]``.
+    timesteps:
+        Number of timesteps the input current is presented for.
+    lif:
+        LIF parameters shared by the hidden layers.  The output layer
+        accumulates membrane potential without firing (standard readout).
+    rng:
+        Source of randomness for weight initialisation.
+    """
+
+    def __init__(
+        self,
+        layer_sizes: list[int],
+        timesteps: int = 4,
+        lif: LIFParameters | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        if len(layer_sizes) < 2:
+            raise ValueError("need at least an input and an output layer")
+        rng = np.random.default_rng() if rng is None else rng
+        self.layer_sizes = list(layer_sizes)
+        self.timesteps = timesteps
+        self.lif = lif or LIFParameters(threshold=1.0, leak=0.5)
+        self.weights: list[np.ndarray] = []
+        self.masks: list[np.ndarray] = []
+        for fan_in, fan_out in zip(layer_sizes[:-1], layer_sizes[1:]):
+            scale = np.sqrt(2.0 / fan_in)
+            self.weights.append(rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            self.masks.append(np.ones((fan_in, fan_out), dtype=bool))
+        self.input_neuron_mask = np.ones(layer_sizes[0], dtype=bool)
+        self.hidden_neuron_masks = [np.ones(size, dtype=bool) for size in layer_sizes[1:-1]]
+
+    # ------------------------------------------------------------------ #
+    # Forward / backward
+    # ------------------------------------------------------------------ #
+    @property
+    def num_layers(self) -> int:
+        """Number of weight matrices."""
+        return len(self.weights)
+
+    def effective_weights(self) -> list[np.ndarray]:
+        """Weights with the pruning masks applied."""
+        return [w * m for w, m in zip(self.weights, self.masks)]
+
+    def forward(self, inputs: np.ndarray, record: bool = False):
+        """Run the network over all timesteps.
+
+        Parameters
+        ----------
+        inputs:
+            Analog input batch of shape ``(batch, input_size)``; the same
+            current is injected every timestep (direct encoding).
+        record:
+            When ``True`` the full state needed for backpropagation (and for
+            spike-activity statistics) is returned alongside the logits.
+
+        Returns
+        -------
+        ``logits`` of shape ``(batch, num_classes)``; when ``record`` is set,
+        a ``(logits, trace)`` pair where ``trace`` holds per-timestep spikes
+        and membrane potentials.
+        """
+        inputs = np.asarray(inputs, dtype=np.float64)
+        batch = inputs.shape[0]
+        weights = self.effective_weights()
+        hidden_count = self.num_layers - 1
+        membranes = [np.zeros((batch, w.shape[1])) for w in weights]
+        spikes_by_layer: list[list[np.ndarray]] = [[] for _ in range(hidden_count)]
+        potentials_by_layer: list[list[np.ndarray]] = [[] for _ in range(hidden_count)]
+        input_spikes: list[np.ndarray] = []
+        readout = np.zeros((batch, weights[-1].shape[1]))
+
+        masked_inputs = inputs * self.input_neuron_mask
+        for _ in range(self.timesteps):
+            activation = masked_inputs
+            input_spikes.append(activation)
+            for layer in range(hidden_count):
+                current = activation @ weights[layer]
+                potential = membranes[layer] + current
+                layer_spikes = (potential > self.lif.threshold).astype(np.float64)
+                if self.hidden_neuron_masks:
+                    layer_spikes = layer_spikes * self.hidden_neuron_masks[layer]
+                membranes[layer] = self.lif.leak * potential * (1.0 - layer_spikes)
+                potentials_by_layer[layer].append(potential)
+                spikes_by_layer[layer].append(layer_spikes)
+                activation = layer_spikes
+            readout += activation @ weights[-1]
+
+        logits = readout / self.timesteps
+        if not record:
+            return logits
+        trace = {
+            "input_spikes": input_spikes,
+            "spikes": spikes_by_layer,
+            "potentials": potentials_by_layer,
+        }
+        return logits, trace
+
+    def hidden_spike_counts(self, inputs: np.ndarray) -> list[np.ndarray]:
+        """Per-neuron spike counts of each hidden layer, summed over time."""
+        _, trace = self.forward(inputs, record=True)
+        counts = []
+        for layer_spikes in trace["spikes"]:
+            stacked = np.stack(layer_spikes, axis=-1)  # batch x neurons x T
+            counts.append(stacked.sum(axis=(0, 2)))
+        return counts
+
+    def _backward(self, inputs, labels, config: TrainingConfig):
+        """One BPTT backward pass; returns gradients and the batch loss."""
+        logits, trace = self.forward(inputs, record=True)
+        batch = inputs.shape[0]
+        weights = self.effective_weights()
+        hidden_count = self.num_layers - 1
+
+        # Softmax cross-entropy on the rate readout.
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        probs = exp / exp.sum(axis=1, keepdims=True)
+        loss = float(-np.log(probs[np.arange(batch), labels] + 1e-12).mean())
+        dlogits = probs.copy()
+        dlogits[np.arange(batch), labels] -= 1.0
+        dlogits /= batch
+
+        grads = [np.zeros_like(w) for w in self.weights]
+
+        # Readout layer gradient: accumulated over timesteps (divided by T in
+        # the forward pass, so each timestep contributes dlogits / T).
+        dreadout = dlogits / self.timesteps
+        # Gradient flowing back into the last hidden layer's spikes at each t.
+        for t in range(self.timesteps):
+            last_spikes = trace["spikes"][-1][t] if hidden_count else trace["input_spikes"][t]
+            grads[-1] += last_spikes.T @ dreadout
+
+        # Back-propagate through hidden layers, timestep by timestep.
+        # We use a truncated-through-membrane approximation: the temporal
+        # credit through the membrane carry-over is dropped (standard
+        # practice for short direct-coded sequences) while the spatial path
+        # through the surrogate derivative is exact.
+        for layer in reversed(range(hidden_count)):
+            w_next = weights[layer + 1]
+            for t in range(self.timesteps):
+                if layer == hidden_count - 1:
+                    dspike = dreadout @ w_next.T
+                else:
+                    dspike = self._dspike_cache[layer + 1][t] @ w_next.T
+                potential = trace["potentials"][layer][t]
+                surrogate = _surrogate_grad(potential, self.lif.threshold, config.surrogate_width)
+                dpotential = dspike * surrogate
+                pre = trace["input_spikes"][t] if layer == 0 else trace["spikes"][layer - 1][t]
+                grads[layer] += pre.T @ dpotential
+                self._dspike_cache[layer][t] = dpotential
+        return grads, loss
+
+    def train_batch(self, inputs, labels, config: TrainingConfig) -> float:
+        """Run one SGD step on a batch; returns the batch loss."""
+        hidden_count = self.num_layers - 1
+        self._dspike_cache = [
+            [np.zeros((inputs.shape[0], self.layer_sizes[layer + 1])) for _ in range(self.timesteps)]
+            for layer in range(hidden_count)
+        ]
+        grads, loss = self._backward(np.asarray(inputs, dtype=np.float64), labels, config)
+        for w, g, m in zip(self.weights, grads, self.masks):
+            w -= config.learning_rate * g * m
+        return loss
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        """Class predictions for a batch of inputs."""
+        logits = self.forward(inputs)
+        return np.argmax(logits, axis=1)
+
+
+def train(
+    model: SpikingMLP,
+    inputs: np.ndarray,
+    labels: np.ndarray,
+    config: TrainingConfig | None = None,
+    rng: np.random.Generator | None = None,
+) -> list[float]:
+    """Train ``model`` with mini-batch SGD; returns the per-epoch mean loss."""
+    config = config or TrainingConfig()
+    rng = np.random.default_rng() if rng is None else rng
+    inputs = np.asarray(inputs, dtype=np.float64)
+    labels = np.asarray(labels)
+    num_samples = inputs.shape[0]
+    losses = []
+    for _ in range(config.epochs):
+        order = rng.permutation(num_samples)
+        epoch_losses = []
+        for start in range(0, num_samples, config.batch_size):
+            batch_idx = order[start : start + config.batch_size]
+            loss = model.train_batch(inputs[batch_idx], labels[batch_idx], config)
+            epoch_losses.append(loss)
+        losses.append(float(np.mean(epoch_losses)))
+    return losses
+
+
+def evaluate_accuracy(model: SpikingMLP, inputs: np.ndarray, labels: np.ndarray) -> float:
+    """Classification accuracy of ``model`` on the given data."""
+    predictions = model.predict(np.asarray(inputs, dtype=np.float64))
+    return float((predictions == np.asarray(labels)).mean())

@@ -1,0 +1,48 @@
+"""Sparse compression substrate used by LoAS and the baseline accelerators.
+
+The subpackage provides the three families of formats that appear in the
+paper:
+
+* :mod:`repro.sparse.bitmask` -- SparTen-style bitmask fibers (weights),
+* :mod:`repro.sparse.packed` -- the FTP-friendly packed-temporal spike format,
+* :mod:`repro.sparse.csr` -- CSR / CSC with explicit coordinate bit costs,
+
+plus the :class:`~repro.sparse.fiber.Fiber` abstraction they share and random
+generators for dual-sparse workload tensors.
+"""
+
+from .bitmask import BitmaskMatrix, compress_columns, compress_rows
+from .csr import CSCMatrix, CSRMatrix, csr_storage_bits_for_spikes
+from .fiber import Fiber
+from .matrix import (
+    density,
+    mask_low_activity_neurons,
+    random_spike_tensor,
+    random_weight_matrix,
+    silent_neuron_fraction,
+    silent_neuron_mask,
+    sparsity,
+    spike_sparsity_per_timestep,
+)
+from .packed import PackedSpikeMatrix, pack_spike_words, unpack_spike_words
+
+__all__ = [
+    "BitmaskMatrix",
+    "CSCMatrix",
+    "CSRMatrix",
+    "Fiber",
+    "PackedSpikeMatrix",
+    "compress_columns",
+    "compress_rows",
+    "csr_storage_bits_for_spikes",
+    "density",
+    "mask_low_activity_neurons",
+    "pack_spike_words",
+    "random_spike_tensor",
+    "random_weight_matrix",
+    "silent_neuron_fraction",
+    "silent_neuron_mask",
+    "sparsity",
+    "spike_sparsity_per_timestep",
+    "unpack_spike_words",
+]

@@ -1,0 +1,143 @@
+"""Bitmask (SparTen-style) compression for sparse weight matrices.
+
+SparTen [Gondimalla et al., MICRO'19] and LoAS both compress the weight
+matrix ``B`` column-wise with a *bitmask* format: a bit string with one bit
+per coordinate marking the non-zero positions, followed by the densely packed
+non-zero values.  This module implements that format for whole matrices,
+producing one :class:`~repro.sparse.fiber.Fiber` per row or column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .fiber import Fiber
+
+__all__ = ["BitmaskMatrix", "compress_rows", "compress_columns"]
+
+
+def compress_rows(matrix: np.ndarray, value_bits: int = 8) -> list[Fiber]:
+    """Compress each row of a 2-D matrix into a bitmask fiber."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise ValueError("expected a 2-D matrix")
+    fibers = []
+    offset = 0
+    for row in matrix:
+        bitmask = row != 0
+        values = row[bitmask]
+        fibers.append(Fiber(bitmask=bitmask, values=values, pointer=offset, value_bits=value_bits))
+        offset += int(bitmask.sum())
+    return fibers
+
+
+def compress_columns(matrix: np.ndarray, value_bits: int = 8) -> list[Fiber]:
+    """Compress each column of a 2-D matrix into a bitmask fiber."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise ValueError("expected a 2-D matrix")
+    return compress_rows(matrix.T, value_bits=value_bits)
+
+
+@dataclass
+class BitmaskMatrix:
+    """A 2-D matrix compressed fiber-by-fiber with the bitmask format.
+
+    Parameters
+    ----------
+    fibers:
+        One fiber per row (``axis == "row"``) or per column
+        (``axis == "column"``).
+    shape:
+        Original dense shape ``(rows, cols)``.
+    axis:
+        Compression direction, ``"row"`` or ``"column"``.
+    value_bits:
+        Bit width of one stored payload value.
+    """
+
+    fibers: list[Fiber]
+    shape: tuple[int, int]
+    axis: str = "row"
+    value_bits: int = 8
+
+    @classmethod
+    def from_dense(
+        cls, matrix: np.ndarray, axis: str = "row", value_bits: int = 8
+    ) -> "BitmaskMatrix":
+        """Compress a dense matrix along the requested axis."""
+        matrix = np.asarray(matrix)
+        if axis == "row":
+            fibers = compress_rows(matrix, value_bits=value_bits)
+        elif axis == "column":
+            fibers = compress_columns(matrix, value_bits=value_bits)
+        else:
+            raise ValueError("axis must be 'row' or 'column'")
+        return cls(fibers=fibers, shape=matrix.shape, axis=axis, value_bits=value_bits)
+
+    # ------------------------------------------------------------------ #
+    # Properties
+    # ------------------------------------------------------------------ #
+    @property
+    def nnz(self) -> int:
+        """Total number of stored non-zero values."""
+        return sum(f.nnz for f in self.fibers)
+
+    @property
+    def num_fibers(self) -> int:
+        """Number of compressed fibers (rows or columns)."""
+        return len(self.fibers)
+
+    def fiber(self, index: int) -> Fiber:
+        """Return the fiber for row/column ``index``."""
+        return self.fibers[index]
+
+    # ------------------------------------------------------------------ #
+    # Storage accounting
+    # ------------------------------------------------------------------ #
+    def bitmask_bits(self) -> int:
+        """Total bits spent on bitmasks."""
+        return sum(f.bitmask_bits() for f in self.fibers)
+
+    def payload_bits(self) -> int:
+        """Total bits spent on payload values."""
+        return sum(f.payload_bits() for f in self.fibers)
+
+    def storage_bits(self, pointer_width: int = 32) -> int:
+        """Total compressed footprint in bits (bitmasks + pointers + payload)."""
+        return sum(f.storage_bits(pointer_width) for f in self.fibers)
+
+    def storage_bytes(self, pointer_width: int = 32) -> float:
+        """Total compressed footprint in bytes."""
+        return self.storage_bits(pointer_width) / 8.0
+
+    def dense_bits(self) -> int:
+        """Footprint of the uncompressed matrix in bits."""
+        rows, cols = self.shape
+        return rows * cols * self.value_bits
+
+    def compression_ratio(self, pointer_width: int = 32) -> float:
+        """Dense bits divided by compressed bits (higher is better)."""
+        compressed = self.storage_bits(pointer_width)
+        if compressed == 0:
+            return float("inf")
+        return self.dense_bits() / compressed
+
+    # ------------------------------------------------------------------ #
+    # Reconstruction
+    # ------------------------------------------------------------------ #
+    def to_dense(self) -> np.ndarray:
+        """Reconstruct the dense matrix."""
+        dtype = self.fibers[0].values.dtype if self.fibers and self.fibers[0].values.size else np.int64
+        rows, cols = self.shape
+        if self.axis == "row":
+            dense = np.zeros((rows, cols), dtype=dtype)
+            for i, f in enumerate(self.fibers):
+                dense[i, :] = f.decompress()
+        else:
+            dense = np.zeros((rows, cols), dtype=dtype)
+            for j, f in enumerate(self.fibers):
+                dense[:, j] = f.decompress()
+        return dense

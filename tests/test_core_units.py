@@ -1,0 +1,250 @@
+"""Unit tests for the core building blocks: config, FTP, inner join, TPPE,
+P-LIF, compressor and scheduler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.compressor import OutputCompressor
+from repro.core.config import LoASConfig
+from repro.core.ftp import ftp_layer, ftp_spmspm
+from repro.core.inner_join import InnerJoinUnit
+from repro.core.plif import ParallelLIF
+from repro.core.scheduler import Scheduler
+from repro.core.tppe import TPPE
+from repro.snn.layers import spmspm_reference
+from repro.snn.lif import LIFParameters, lif_fire
+from repro.sparse.bitmask import BitmaskMatrix
+from repro.sparse.matrix import random_spike_tensor, random_weight_matrix
+from repro.sparse.packed import PackedSpikeMatrix
+
+
+class TestLoASConfig:
+    def test_table3_defaults(self):
+        config = LoASConfig()
+        assert config.num_tppes == 16
+        assert config.timesteps == 4
+        assert config.weight_bits == 8
+        assert config.global_cache_bytes == 256 * 1024
+        assert config.cache_banks == 16
+        assert config.dram.bandwidth_gbps == 128.0
+        assert config.clock_ghz == 0.8
+
+    def test_laggy_latency_is_8_cycles(self):
+        assert LoASConfig().laggy_latency_cycles == 8
+
+    def test_accumulators_per_tppe(self):
+        assert LoASConfig().accumulators_per_tppe == 5
+        assert LoASConfig(timesteps=8).accumulators_per_tppe == 9
+
+    def test_bitmask_chunks(self):
+        config = LoASConfig()
+        assert config.bitmask_chunks(128) == 1
+        assert config.bitmask_chunks(129) == 2
+        assert config.bitmask_chunks(0) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoASConfig(num_tppes=0)
+        with pytest.raises(ValueError):
+            LoASConfig(timesteps=0)
+        with pytest.raises(ValueError):
+            LoASConfig().bitmask_chunks(-1)
+
+    def test_with_timesteps(self):
+        config = LoASConfig().with_timesteps(8)
+        assert config.timesteps == 8
+        assert config.num_tppes == 16
+
+
+class TestFTPFunctional:
+    def test_matches_reference(self, small_layer):
+        spikes, weights = small_layer
+        assert np.array_equal(ftp_spmspm(spikes, weights), spmspm_reference(spikes, weights))
+
+    def test_layer_matches_reference_pipeline(self, small_layer):
+        spikes, weights = small_layer
+        output = ftp_layer(spikes, weights)
+        assert np.array_equal(output.spikes, lif_fire(spmspm_reference(spikes, weights)))
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ftp_spmspm(np.zeros((2, 3, 1)), np.zeros((4, 2)))
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        arrays(np.uint8, st.tuples(st.integers(1, 4), st.integers(1, 10), st.integers(1, 4)), elements=st.integers(0, 1)),
+        st.integers(1, 5),
+    )
+    def test_ftp_equivalence_property(self, spikes, n):
+        rng = np.random.default_rng(7)
+        weights = rng.integers(-4, 5, size=(spikes.shape[1], n))
+        weights[rng.random(weights.shape) < 0.5] = 0
+        assert np.array_equal(ftp_spmspm(spikes, weights), spmspm_reference(spikes, weights))
+
+
+def _fibers_for(spikes, weights, row, col):
+    packed = PackedSpikeMatrix.from_dense(spikes)
+    columns = BitmaskMatrix.from_dense(weights, axis="column")
+    return packed.fiber(row), columns.fiber(col)
+
+
+class TestInnerJoin:
+    def test_per_timestep_sums_are_exact(self, small_layer):
+        spikes, weights = small_layer
+        reference = spmspm_reference(spikes, weights)
+        unit = InnerJoinUnit()
+        for row in range(0, spikes.shape[0], 3):
+            for col in range(0, weights.shape[1], 7):
+                spike_fiber, weight_fiber = _fibers_for(spikes, weights, row, col)
+                result = unit.join(spike_fiber, weight_fiber)
+                assert np.array_equal(result.per_timestep_sums, reference[row, col, :])
+
+    def test_pseudo_minus_corrections_identity(self, small_layer):
+        spikes, weights = small_layer
+        spike_fiber, weight_fiber = _fibers_for(spikes, weights, 0, 0)
+        result = InnerJoinUnit().join(spike_fiber, weight_fiber)
+        assert np.array_equal(result.per_timestep_sums, result.pseudo_sum - result.corrections)
+
+    def test_match_count(self, small_layer):
+        spikes, weights = small_layer
+        spike_fiber, weight_fiber = _fibers_for(spikes, weights, 1, 2)
+        result = InnerJoinUnit().join(spike_fiber, weight_fiber)
+        expected = int(np.sum((spikes[1].sum(axis=1) > 0) & (weights[:, 2] != 0)))
+        assert result.matches == expected
+        assert result.pseudo_accumulations == expected
+
+    def test_all_ones_words_need_no_correction(self):
+        spikes = np.ones((1, 6, 4), dtype=np.uint8)
+        weights = np.arange(1, 7).reshape(6, 1)
+        spike_fiber, weight_fiber = _fibers_for(spikes, weights, 0, 0)
+        result = InnerJoinUnit().join(spike_fiber, weight_fiber)
+        assert result.correction_accumulations == 0
+        assert result.perfect_predictions == result.matches == 6
+
+    def test_correction_count_equals_zero_bits_of_matched_words(self, small_layer):
+        spikes, weights = small_layer
+        spike_fiber, weight_fiber = _fibers_for(spikes, weights, 2, 3)
+        result = InnerJoinUnit().join(spike_fiber, weight_fiber)
+        matched = (spikes[2].sum(axis=1) > 0) & (weights[:, 3] != 0)
+        zero_bits = int((spikes[2][matched] == 0).sum())
+        assert result.correction_accumulations == zero_bits
+
+    def test_cycles_model(self):
+        config = LoASConfig()
+        spikes = np.zeros((1, 200, 4), dtype=np.uint8)
+        spikes[0, :10, 0] = 1
+        weights = np.zeros((200, 1), dtype=np.int32)
+        weights[:10, 0] = 1
+        spike_fiber, weight_fiber = _fibers_for(spikes, weights, 0, 0)
+        result = InnerJoinUnit(config).join(spike_fiber, weight_fiber)
+        assert result.chunks == config.bitmask_chunks(200)
+        assert result.cycles == result.chunks + result.matches + config.task_overhead_cycles
+
+    def test_length_mismatch_rejected(self):
+        spikes = np.ones((1, 4, 4), dtype=np.uint8)
+        weights = np.ones((8, 1), dtype=np.int32)
+        packed = PackedSpikeMatrix.from_dense(spikes)
+        columns = BitmaskMatrix.from_dense(weights, axis="column")
+        with pytest.raises(ValueError):
+            InnerJoinUnit().join(packed.fiber(0), columns.fiber(0))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2 ** 31 - 1))
+    def test_inner_join_property(self, seed):
+        rng = np.random.default_rng(seed)
+        spikes = random_spike_tensor(1, 40, 4, 0.7, silent_fraction=0.5, rng=rng)
+        weights = random_weight_matrix(40, 1, 0.8, rng=rng)
+        spike_fiber, weight_fiber = _fibers_for(spikes, weights, 0, 0)
+        result = InnerJoinUnit().join(spike_fiber, weight_fiber)
+        assert np.array_equal(result.per_timestep_sums, spmspm_reference(spikes, weights)[0, 0, :])
+
+
+class TestParallelLIFAndTPPE:
+    def test_plif_matches_lif_fire(self, rng):
+        sums = rng.normal(size=(5, 7, 4)) * 3
+        plif = ParallelLIF(LIFParameters())
+        assert np.array_equal(plif.fire(sums), lif_fire(sums))
+
+    def test_plif_fire_neuron(self, rng):
+        sums = rng.normal(size=4) * 3
+        plif = ParallelLIF(LIFParameters())
+        assert np.array_equal(plif.fire_neuron(sums), lif_fire(sums[None, :])[0])
+
+    def test_plif_fire_neuron_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            ParallelLIF().fire_neuron(np.zeros((2, 4)))
+
+    def test_plif_operation_count(self):
+        assert ParallelLIF().lif_operations(10, 4) == 40
+
+    def test_tppe_matches_full_reference(self, small_layer):
+        spikes, weights = small_layer
+        reference = lif_fire(spmspm_reference(spikes, weights))
+        tppe = TPPE()
+        spike_fiber, weight_fiber = _fibers_for(spikes, weights, 3, 5)
+        result = tppe.process(spike_fiber, weight_fiber)
+        assert np.array_equal(result.output_spikes, reference[3, 5, :])
+        assert result.cycles == result.join.cycles + tppe.plif.latency_cycles
+
+
+class TestCompressor:
+    def test_roundtrip_without_preprocessing(self, rng):
+        spikes = (rng.random((4, 40, 4)) > 0.8).astype(np.uint8)
+        result = OutputCompressor().compress(spikes, preprocess=False)
+        assert np.array_equal(result.packed.to_dense(), spikes)
+        assert result.dropped_neurons == 0
+
+    def test_preprocessing_drops_single_spike_neurons(self):
+        spikes = np.zeros((1, 3, 4), dtype=np.uint8)
+        spikes[0, 0, 0] = 1  # single spike -> dropped
+        spikes[0, 1, 0] = 1
+        spikes[0, 1, 1] = 1  # two spikes -> kept
+        result = OutputCompressor().compress(spikes, preprocess=True)
+        assert result.dropped_neurons == 1
+        assert result.packed.nnz == 1
+
+    def test_output_bytes_match_packed_storage(self, rng):
+        spikes = (rng.random((4, 40, 4)) > 0.8).astype(np.uint8)
+        config = LoASConfig()
+        result = OutputCompressor(config).compress(spikes)
+        assert result.output_bytes == pytest.approx(result.packed.storage_bytes(config.pointer_bits))
+
+    def test_cycles_scale_with_rows_and_chunks(self):
+        config = LoASConfig()
+        spikes = np.zeros((8, 300, 4), dtype=np.uint8)
+        result = OutputCompressor(config).compress(spikes)
+        assert result.cycles == 8 * config.bitmask_chunks(300) * config.laggy_latency_cycles
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            OutputCompressor().compress(np.zeros((2, 2)))
+
+
+class TestScheduler:
+    def test_wave_count(self):
+        scheduler = Scheduler(LoASConfig(num_tppes=16))
+        assert scheduler.num_waves(32, 10) == 20
+        assert scheduler.num_waves(17, 1) == 2
+        assert scheduler.num_waves(0, 5) == 0
+
+    def test_waves_cover_all_outputs(self):
+        scheduler = Scheduler(LoASConfig(num_tppes=4))
+        waves = scheduler.waves(6, 3)
+        covered = {(row, wave.column) for wave in waves for row in wave.rows}
+        assert covered == {(m, n) for m in range(6) for n in range(3)}
+
+    def test_wave_rows_bounded_by_tppes(self):
+        scheduler = Scheduler(LoASConfig(num_tppes=4))
+        assert all(len(w.rows) <= 4 for w in scheduler.waves(10, 2))
+
+    def test_pe_utilization(self):
+        scheduler = Scheduler(LoASConfig(num_tppes=16))
+        assert scheduler.pe_utilization(16, 4) == pytest.approx(1.0)
+        assert scheduler.pe_utilization(8, 4) == pytest.approx(0.5)
+        assert scheduler.pe_utilization(0, 0) == 0.0
+
+    def test_negative_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            Scheduler().waves(-1, 2)

@@ -1,0 +1,138 @@
+"""Unit tests for the dataflow loop-nest analysis and functional orderings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.dataflow.functional import gustavson_spmspm, inner_product_spmspm, outer_product_spmspm
+from repro.dataflow.loopnest import LoopNest, all_orders, dataflow_base_order
+from repro.dataflow.temporal import best_placement, enumerate_t_placements, ftp_loopnest
+from repro.snn.layers import spmspm_reference
+
+BOUNDS = {"m": 8, "n": 16, "k": 32, "t": 4}
+
+
+class TestLoopNest:
+    def test_rejects_bad_order(self):
+        with pytest.raises(ValueError):
+            LoopNest(order=("m", "n", "k"), bounds=BOUNDS)
+
+    def test_rejects_missing_bounds(self):
+        with pytest.raises(ValueError):
+            LoopNest(order=("m", "n", "k", "t"), bounds={"m": 2})
+
+    def test_rejects_unknown_spatial(self):
+        with pytest.raises(ValueError):
+            LoopNest(order=("m", "n", "k", "t"), bounds=BOUNDS, spatial=frozenset({"z"}))
+
+    def test_iteration_space(self):
+        nest = LoopNest(order=("m", "n", "k", "t"), bounds=BOUNDS)
+        assert nest.iteration_space() == 8 * 16 * 32 * 4
+
+    def test_operand_footprints(self):
+        nest = LoopNest(order=("m", "n", "k", "t"), bounds=BOUNDS)
+        assert nest.operand_footprint("A") == 8 * 32 * 4
+        assert nest.operand_footprint("B") == 32 * 16
+        assert nest.operand_footprint("C") == 8 * 16 * 4
+
+    def test_classic_inner_product_refetch(self):
+        # ANN IP (no t): A refetched N times, B refetched M times, C touched once.
+        nest = LoopNest(order=("m", "n", "k", "t"), bounds={**BOUNDS, "t": 1})
+        assert nest.refetch_factor("A") == pytest.approx(BOUNDS["n"])
+        assert nest.refetch_factor("B") == pytest.approx(BOUNDS["m"])
+
+    def test_ftp_t_innermost_spatial_keeps_ann_refetch(self):
+        nest = ftp_loopnest(BOUNDS)
+        # Spatially unrolling t keeps the same refetch factors as the ANN IP.
+        assert nest.refetch_factor("A") == pytest.approx(BOUNDS["n"])
+        assert nest.refetch_factor("B") == pytest.approx(BOUNDS["m"])
+
+    def test_sequential_t_above_k_multiplies_b_refetch(self):
+        # t between n and k: B is re-fetched T more times than the ANN IP.
+        nest = LoopNest(order=("m", "n", "t", "k"), bounds=BOUNDS)
+        assert nest.refetch_factor("B") == pytest.approx(BOUNDS["m"] * BOUNDS["t"])
+
+    def test_latency_iterations_spatial_t(self):
+        sequential = LoopNest(order=("m", "n", "k", "t"), bounds=BOUNDS)
+        parallel = ftp_loopnest(BOUNDS)
+        assert sequential.latency_iterations() == parallel.latency_iterations() * BOUNDS["t"]
+
+    def test_depth_and_t_position(self):
+        nest = LoopNest(order=("m", "t", "n", "k"), bounds=BOUNDS)
+        assert nest.depth("t") == 1
+        assert nest.t_position() == 1
+        assert not nest.is_t_innermost()
+
+    def test_all_orders_counts(self):
+        assert len(all_orders()) == 24
+        assert len(all_orders(include_t=False)) == 6
+
+    def test_dataflow_base_orders(self):
+        assert dataflow_base_order("IP") == ("m", "n", "k")
+        assert dataflow_base_order("OP") == ("k", "m", "n")
+        assert dataflow_base_order("Gust") == ("m", "k", "n")
+        with pytest.raises(KeyError):
+            dataflow_base_order("XYZ")
+
+
+class TestTemporalPlacement:
+    def test_enumeration_size(self):
+        placements = enumerate_t_placements("IP", BOUNDS)
+        # 4 insertion positions + 1 spatial variant at the innermost slot.
+        assert len(placements) == 5
+
+    def test_ftp_is_the_best_ip_placement_for_latency(self):
+        placements = enumerate_t_placements("IP", BOUNDS)
+        ftp = best_placement(BOUNDS)
+        assert ftp.latency_iterations == min(p.latency_iterations for p in placements)
+
+    def test_ftp_minimises_a_refetch_among_ip_placements(self):
+        placements = [p for p in enumerate_t_placements("IP", BOUNDS) if not p.t_spatial]
+        ftp = best_placement(BOUNDS)
+        assert ftp.a_refetch <= min(p.a_refetch for p in placements)
+        assert ftp.b_refetch <= min(p.b_refetch for p in placements)
+
+    def test_op_always_multiplies_partial_sums_by_t(self):
+        # Observation 2: OP generates >= T times the ANN partial sums for any
+        # sequential t placement.
+        ann = LoopNest(order=("k", "m", "n", "t"), bounds={**BOUNDS, "t": 1}).partial_sum_writes()
+        for placement in enumerate_t_placements("OP", BOUNDS, include_spatial=False):
+            assert placement.partial_sums >= ann * BOUNDS["t"]
+
+    def test_sequential_t_always_multiplies_latency(self):
+        # Observation 3: any sequential t placement pays T times the latency.
+        for dataflow in ("IP", "OP", "Gust"):
+            for placement in enumerate_t_placements(dataflow, BOUNDS, include_spatial=False):
+                assert placement.latency_iterations == BOUNDS["m"] * BOUNDS["n"] * BOUNDS["k"] * BOUNDS["t"]
+
+    def test_spatial_variant_recovers_ann_latency(self):
+        spatial = [p for p in enumerate_t_placements("IP", BOUNDS) if p.t_spatial]
+        assert len(spatial) == 1
+        assert spatial[0].latency_iterations == BOUNDS["m"] * BOUNDS["n"] * BOUNDS["k"]
+
+
+class TestFunctionalDataflows:
+    def test_all_dataflows_match_reference(self, small_layer):
+        spikes, weights = small_layer
+        reference = spmspm_reference(spikes, weights)
+        assert np.array_equal(inner_product_spmspm(spikes, weights), reference)
+        assert np.array_equal(outer_product_spmspm(spikes, weights), reference)
+        assert np.array_equal(gustavson_spmspm(spikes, weights), reference)
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            inner_product_spmspm(np.zeros((2, 3, 1)), np.zeros((4, 2)))
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        arrays(np.uint8, st.tuples(st.integers(1, 4), st.integers(1, 8), st.integers(1, 4)), elements=st.integers(0, 1)),
+        st.integers(1, 6),
+    )
+    def test_equivalence_property(self, spikes, n):
+        rng = np.random.default_rng(0)
+        weights = rng.integers(-3, 4, size=(spikes.shape[1], n))
+        reference = spmspm_reference(spikes, weights)
+        assert np.array_equal(inner_product_spmspm(spikes, weights), reference)
+        assert np.array_equal(outer_product_spmspm(spikes, weights), reference)
+        assert np.array_equal(gustavson_spmspm(spikes, weights), reference)

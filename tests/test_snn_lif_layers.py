@@ -1,0 +1,165 @@
+"""Unit tests for LIF dynamics, the functional layer and spike encodings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.snn.encoding import direct_encode, poisson_encode, rate_decode
+from repro.snn.layers import SNNLinearLayer, spmspm_reference
+from repro.snn.lif import LIFNeuron, LIFParameters, lif_fire, lif_step
+
+
+class TestLIFParameters:
+    def test_defaults(self):
+        params = LIFParameters()
+        assert params.threshold == 1.0
+        assert 0 < params.leak <= 1
+
+    def test_invalid_leak_rejected(self):
+        with pytest.raises(ValueError):
+            LIFParameters(leak=0.0)
+        with pytest.raises(ValueError):
+            LIFParameters(leak=1.5)
+
+
+class TestLIFStep:
+    def test_fires_above_threshold(self):
+        spikes, membrane = lif_step(np.array([2.0]), np.array([0.0]), LIFParameters(threshold=1.0))
+        assert spikes[0] == 1
+        assert membrane[0] == 0.0  # hard reset
+
+    def test_no_fire_below_threshold(self):
+        spikes, membrane = lif_step(np.array([0.4]), np.array([0.0]), LIFParameters(threshold=1.0, leak=0.5))
+        assert spikes[0] == 0
+        assert membrane[0] == pytest.approx(0.2)
+
+    def test_membrane_carry_over_triggers_fire(self):
+        params = LIFParameters(threshold=1.0, leak=1.0)
+        spikes, membrane = lif_step(np.array([0.6]), np.array([0.6]), params)
+        assert spikes[0] == 1
+
+    def test_exactly_at_threshold_does_not_fire(self):
+        spikes, _ = lif_step(np.array([1.0]), np.array([0.0]), LIFParameters(threshold=1.0))
+        assert spikes[0] == 0
+
+
+class TestLIFFire:
+    def test_output_shape_and_dtype(self):
+        currents = np.zeros((3, 5, 4))
+        spikes = lif_fire(currents)
+        assert spikes.shape == (3, 5, 4)
+        assert spikes.dtype == np.uint8
+
+    def test_constant_super_threshold_input_fires_every_step(self):
+        currents = np.full((1, 1, 4), 5.0)
+        assert lif_fire(currents, LIFParameters(threshold=1.0)).sum() == 4
+
+    def test_subthreshold_accumulation_with_no_leak(self):
+        currents = np.full((1, 1, 4), 0.6)
+        spikes = lif_fire(currents, LIFParameters(threshold=1.0, leak=1.0))
+        # Fires on every second timestep: 0.6, 1.2->fire, 0.6, 1.2->fire.
+        assert spikes[0, 0].tolist() == [0, 1, 0, 1]
+
+    def test_zero_input_never_fires(self):
+        assert lif_fire(np.zeros((2, 2, 3))).sum() == 0
+
+
+class TestLIFNeuron:
+    def test_stateful_forward_matches_lif_fire(self):
+        rng = np.random.default_rng(0)
+        currents = rng.normal(size=(4, 6, 5))
+        neuron = LIFNeuron((4, 6))
+        stepped = np.stack([neuron.forward(currents[:, :, t]) for t in range(5)], axis=-1)
+        assert np.array_equal(stepped, lif_fire(currents))
+
+    def test_reset_clears_membrane(self):
+        neuron = LIFNeuron((2,), LIFParameters(threshold=1.0, leak=1.0))
+        neuron.forward(np.array([0.6, 0.6]))
+        neuron.reset()
+        assert np.all(neuron.membrane == 0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            LIFNeuron((2,)).forward(np.zeros(3))
+
+
+class TestSpMspMReference:
+    def test_matches_manual_matmul(self, rng):
+        spikes = (rng.random((3, 7, 2)) > 0.5).astype(np.uint8)
+        weights = rng.integers(-5, 5, size=(7, 4))
+        expected = np.stack([spikes[:, :, t] @ weights for t in range(2)], axis=-1)
+        assert np.array_equal(spmspm_reference(spikes, weights), expected)
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            spmspm_reference(np.zeros((2, 3, 1)), np.zeros((4, 2)))
+
+    def test_rejects_bad_ranks(self):
+        with pytest.raises(ValueError):
+            spmspm_reference(np.zeros((2, 3)), np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            spmspm_reference(np.zeros((2, 3, 1)), np.zeros((3,)))
+
+
+class TestSNNLinearLayer:
+    def test_forward_shapes(self, small_layer):
+        spikes, weights = small_layer
+        layer = SNNLinearLayer(weights)
+        output = layer(spikes)
+        assert output.full_sums.shape == (8, 24, 4)
+        assert output.spikes.shape == (8, 24, 4)
+
+    def test_spikes_are_unary(self, small_layer):
+        spikes, weights = small_layer
+        output = SNNLinearLayer(weights)(spikes)
+        assert set(np.unique(output.spikes)).issubset({0, 1})
+
+    def test_input_output_size_properties(self, small_layer):
+        _, weights = small_layer
+        layer = SNNLinearLayer(weights)
+        assert layer.input_size == 96
+        assert layer.output_size == 24
+
+    def test_rejects_1d_weights(self):
+        with pytest.raises(ValueError):
+            SNNLinearLayer(np.zeros(4))
+
+    def test_matches_reference_pipeline(self, small_layer):
+        spikes, weights = small_layer
+        layer = SNNLinearLayer(weights)
+        output = layer(spikes)
+        assert np.array_equal(output.spikes, lif_fire(spmspm_reference(spikes, weights), layer.lif))
+
+
+class TestEncoding:
+    def test_direct_encode_shape(self, rng):
+        inputs = rng.random((5, 8))
+        weights = rng.normal(size=(8, 12))
+        spikes = direct_encode(inputs, weights, timesteps=4)
+        assert spikes.shape == (5, 12, 4)
+        assert set(np.unique(spikes)).issubset({0, 1})
+
+    def test_direct_encode_dimension_check(self, rng):
+        with pytest.raises(ValueError):
+            direct_encode(rng.random((5, 8)), rng.random((9, 12)), 4)
+
+    def test_poisson_encode_rates(self, rng):
+        inputs = np.array([0.0, 1.0])
+        spikes = poisson_encode(inputs, timesteps=200, rng=rng)
+        assert spikes[0].sum() == 0
+        assert spikes[1].sum() == 200
+
+    def test_poisson_encode_intermediate_rate(self, rng):
+        spikes = poisson_encode(np.full(50, 0.5), timesteps=100, rng=rng)
+        assert spikes.mean() == pytest.approx(0.5, abs=0.05)
+
+    def test_rate_decode_inverts_rates(self, rng):
+        spikes = poisson_encode(np.full(20, 0.3), timesteps=400, rng=rng)
+        assert rate_decode(spikes).mean() == pytest.approx(0.3, abs=0.05)
+
+    @settings(max_examples=20, deadline=None)
+    @given(arrays(np.float64, st.tuples(st.integers(1, 4), st.integers(1, 6)), elements=st.floats(0, 1)))
+    def test_poisson_encode_is_unary(self, inputs):
+        spikes = poisson_encode(inputs, timesteps=3, rng=np.random.default_rng(0))
+        assert set(np.unique(spikes)).issubset({0, 1})

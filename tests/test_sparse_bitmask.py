@@ -1,0 +1,111 @@
+"""Unit tests for the bitmask (SparTen-style) matrix compression."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.sparse.bitmask import BitmaskMatrix, compress_columns, compress_rows
+
+
+@pytest.fixture
+def matrix():
+    return np.array(
+        [
+            [0, 5, 0, -3],
+            [0, 0, 0, 0],
+            [7, 0, 2, 0],
+        ],
+        dtype=np.int32,
+    )
+
+
+class TestCompressFunctions:
+    def test_compress_rows_count(self, matrix):
+        assert len(compress_rows(matrix)) == 3
+
+    def test_compress_columns_count(self, matrix):
+        assert len(compress_columns(matrix)) == 4
+
+    def test_row_fiber_contents(self, matrix):
+        fibers = compress_rows(matrix)
+        assert fibers[0].values.tolist() == [5, -3]
+        assert fibers[1].nnz == 0
+        assert fibers[2].coordinates.tolist() == [0, 2]
+
+    def test_column_fiber_contents(self, matrix):
+        fibers = compress_columns(matrix)
+        assert fibers[0].values.tolist() == [7]
+        assert fibers[3].values.tolist() == [-3]
+
+    def test_pointers_are_cumulative(self, matrix):
+        fibers = compress_rows(matrix)
+        assert [f.pointer for f in fibers] == [0, 2, 2]
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            compress_rows(np.zeros((2, 2, 2)))
+
+
+class TestBitmaskMatrix:
+    def test_from_dense_row_roundtrip(self, matrix):
+        compressed = BitmaskMatrix.from_dense(matrix, axis="row")
+        assert np.array_equal(compressed.to_dense(), matrix)
+
+    def test_from_dense_column_roundtrip(self, matrix):
+        compressed = BitmaskMatrix.from_dense(matrix, axis="column")
+        assert np.array_equal(compressed.to_dense(), matrix)
+
+    def test_invalid_axis_rejected(self, matrix):
+        with pytest.raises(ValueError):
+            BitmaskMatrix.from_dense(matrix, axis="diagonal")
+
+    def test_nnz(self, matrix):
+        compressed = BitmaskMatrix.from_dense(matrix)
+        assert compressed.nnz == 4
+
+    def test_num_fibers(self, matrix):
+        assert BitmaskMatrix.from_dense(matrix, axis="row").num_fibers == 3
+        assert BitmaskMatrix.from_dense(matrix, axis="column").num_fibers == 4
+
+    def test_fiber_accessor(self, matrix):
+        compressed = BitmaskMatrix.from_dense(matrix, axis="row")
+        assert compressed.fiber(2).values.tolist() == [7, 2]
+
+    def test_bitmask_bits(self, matrix):
+        compressed = BitmaskMatrix.from_dense(matrix, axis="row")
+        assert compressed.bitmask_bits() == 3 * 4
+
+    def test_payload_bits(self, matrix):
+        compressed = BitmaskMatrix.from_dense(matrix, value_bits=8)
+        assert compressed.payload_bits() == 4 * 8
+
+    def test_dense_bits(self, matrix):
+        compressed = BitmaskMatrix.from_dense(matrix, value_bits=8)
+        assert compressed.dense_bits() == 12 * 8
+
+    def test_compression_ratio_improves_with_sparsity(self):
+        dense = np.ones((16, 128), dtype=np.int8)
+        sparse = np.zeros((16, 128), dtype=np.int8)
+        sparse[:, 0] = 1
+        ratio_dense = BitmaskMatrix.from_dense(dense).compression_ratio()
+        ratio_sparse = BitmaskMatrix.from_dense(sparse).compression_ratio()
+        assert ratio_sparse > ratio_dense
+
+    def test_storage_bits_formula(self, matrix):
+        compressed = BitmaskMatrix.from_dense(matrix, value_bits=8)
+        expected = sum(f.storage_bits(32) for f in compressed.fibers)
+        assert compressed.storage_bits(32) == expected
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        arrays(
+            np.int16,
+            st.tuples(st.integers(1, 8), st.integers(1, 12)),
+            elements=st.integers(-20, 20),
+        )
+    )
+    def test_roundtrip_property(self, dense):
+        for axis in ("row", "column"):
+            compressed = BitmaskMatrix.from_dense(dense, axis=axis)
+            assert np.array_equal(compressed.to_dense(), dense)

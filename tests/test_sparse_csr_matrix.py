@@ -1,0 +1,186 @@
+"""Unit tests for CSR/CSC formats and the random tensor generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.sparse.csr import CSCMatrix, CSRMatrix, csr_storage_bits_for_spikes
+from repro.sparse.matrix import (
+    density,
+    mask_low_activity_neurons,
+    random_spike_tensor,
+    random_weight_matrix,
+    silent_neuron_fraction,
+    silent_neuron_mask,
+    sparsity,
+    spike_sparsity_per_timestep,
+)
+
+
+@pytest.fixture
+def matrix():
+    return np.array([[0, 5, 0], [7, 0, 0], [0, 0, 0], [1, 2, 3]], dtype=np.int32)
+
+
+class TestCSR:
+    def test_roundtrip(self, matrix):
+        assert np.array_equal(CSRMatrix.from_dense(matrix).to_dense(), matrix)
+
+    def test_nnz(self, matrix):
+        assert CSRMatrix.from_dense(matrix).nnz == 5
+
+    def test_row_access(self, matrix):
+        csr = CSRMatrix.from_dense(matrix)
+        cols, vals = csr.row(3)
+        assert cols.tolist() == [0, 1, 2]
+        assert vals.tolist() == [1, 2, 3]
+
+    def test_empty_row(self, matrix):
+        cols, vals = CSRMatrix.from_dense(matrix).row(2)
+        assert cols.size == 0 and vals.size == 0
+
+    def test_coordinate_bits(self, matrix):
+        assert CSRMatrix.from_dense(matrix).coordinate_bits() == 2
+
+    def test_storage_bits(self, matrix):
+        csr = CSRMatrix.from_dense(matrix, value_bits=8)
+        assert csr.storage_bits(32) == 5 * 8 + 5 * 2 + 5 * 32
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            CSRMatrix.from_dense(np.zeros((2, 2, 2)))
+
+
+class TestCSC:
+    def test_roundtrip(self, matrix):
+        assert np.array_equal(CSCMatrix.from_dense(matrix).to_dense(), matrix)
+
+    def test_column_access(self, matrix):
+        csc = CSCMatrix.from_dense(matrix)
+        rows, vals = csc.column(0)
+        assert rows.tolist() == [1, 3]
+        assert vals.tolist() == [7, 1]
+
+    def test_coordinate_bits_uses_rows(self, matrix):
+        assert CSCMatrix.from_dense(matrix).coordinate_bits() == 2
+
+    @settings(max_examples=25, deadline=None)
+    @given(arrays(np.int16, st.tuples(st.integers(1, 7), st.integers(1, 9)), elements=st.integers(-9, 9)))
+    def test_roundtrip_property(self, dense):
+        assert np.array_equal(CSRMatrix.from_dense(dense).to_dense(), dense)
+        assert np.array_equal(CSCMatrix.from_dense(dense).to_dense(), dense)
+
+
+class TestCSRForSpikes:
+    def test_more_expensive_than_packed_for_multi_timestep_spikes(self, rng):
+        spikes = random_spike_tensor(8, 64, 4, spike_sparsity=0.8, silent_fraction=0.6, rng=rng)
+        from repro.sparse.packed import PackedSpikeMatrix
+
+        csr_bits = csr_storage_bits_for_spikes(spikes)
+        packed_bits = PackedSpikeMatrix.from_dense(spikes).storage_bits()
+        assert csr_bits > 0
+        assert packed_bits < csr_bits * 2  # packed is competitive
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            csr_storage_bits_for_spikes(np.zeros((2, 2)))
+
+
+class TestSparsityHelpers:
+    def test_sparsity_and_density(self):
+        x = np.array([0, 1, 0, 2])
+        assert sparsity(x) == pytest.approx(0.5)
+        assert density(x) == pytest.approx(0.5)
+
+    def test_sparsity_of_empty(self):
+        assert sparsity(np.array([])) == 0.0
+
+
+class TestRandomWeightMatrix:
+    def test_shape_and_dtype(self, rng):
+        weights = random_weight_matrix(50, 30, 0.9, rng=rng)
+        assert weights.shape == (50, 30)
+        assert np.issubdtype(weights.dtype, np.integer)
+
+    def test_sparsity_close_to_target(self, rng):
+        weights = random_weight_matrix(200, 200, 0.9, rng=rng)
+        assert sparsity(weights) == pytest.approx(0.9, abs=0.02)
+
+    def test_invalid_sparsity_rejected(self, rng):
+        with pytest.raises(ValueError):
+            random_weight_matrix(4, 4, 1.5, rng=rng)
+
+    def test_values_within_bitwidth(self, rng):
+        weights = random_weight_matrix(64, 64, 0.5, rng=rng, weight_bits=8)
+        assert weights.max() <= 127 and weights.min() >= -128
+
+
+class TestRandomSpikeTensor:
+    def test_shape(self, rng):
+        spikes = random_spike_tensor(4, 10, 3, 0.5, rng=rng)
+        assert spikes.shape == (4, 10, 3)
+
+    def test_unary_values(self, rng):
+        spikes = random_spike_tensor(4, 10, 3, 0.5, rng=rng)
+        assert set(np.unique(spikes)).issubset({0, 1})
+
+    def test_sparsity_close_to_target_without_silent_control(self, rng):
+        spikes = random_spike_tensor(40, 100, 4, 0.8, rng=rng)
+        assert sparsity(spikes) == pytest.approx(0.8, abs=0.03)
+
+    def test_silent_fraction_close_to_target(self, rng):
+        spikes = random_spike_tensor(40, 100, 4, 0.8, silent_fraction=0.7, rng=rng)
+        assert silent_neuron_fraction(spikes) == pytest.approx(0.7, abs=0.03)
+
+    def test_sparsity_close_to_target_with_silent_control(self, rng):
+        spikes = random_spike_tensor(40, 100, 4, 0.8, silent_fraction=0.7, rng=rng)
+        assert sparsity(spikes) == pytest.approx(0.8, abs=0.03)
+
+    def test_nonsilent_neurons_fire_at_least_once(self, rng):
+        spikes = random_spike_tensor(20, 50, 4, 0.8, silent_fraction=0.6, rng=rng)
+        silent = silent_neuron_mask(spikes)
+        counts = spikes.sum(axis=2)
+        assert np.all(counts[~silent] >= 1)
+
+    def test_all_silent(self, rng):
+        spikes = random_spike_tensor(4, 10, 4, 0.99, silent_fraction=1.0, rng=rng)
+        assert spikes.sum() == 0
+
+    def test_invalid_sparsity_rejected(self, rng):
+        with pytest.raises(ValueError):
+            random_spike_tensor(4, 4, 4, -0.1, rng=rng)
+
+    def test_invalid_silent_fraction_rejected(self, rng):
+        with pytest.raises(ValueError):
+            random_spike_tensor(4, 4, 4, 0.5, silent_fraction=2.0, rng=rng)
+
+
+class TestMaskingHelpers:
+    def test_silent_neuron_mask_requires_3d(self):
+        with pytest.raises(ValueError):
+            silent_neuron_mask(np.zeros((2, 2)))
+
+    def test_spike_sparsity_per_timestep_shape(self, rng):
+        spikes = random_spike_tensor(4, 10, 3, 0.5, rng=rng)
+        assert spike_sparsity_per_timestep(spikes).shape == (3,)
+
+    def test_mask_low_activity_removes_single_spike_neurons(self):
+        spikes = np.zeros((1, 3, 4), dtype=np.uint8)
+        spikes[0, 0, 1] = 1  # fires once -> masked
+        spikes[0, 1, 0] = 1
+        spikes[0, 1, 2] = 1  # fires twice -> kept
+        masked = mask_low_activity_neurons(spikes, max_spikes=1)
+        assert masked[0, 0].sum() == 0
+        assert masked[0, 1].sum() == 2
+
+    def test_mask_low_activity_does_not_modify_input(self, rng):
+        spikes = random_spike_tensor(4, 20, 4, 0.7, rng=rng)
+        before = spikes.copy()
+        mask_low_activity_neurons(spikes)
+        assert np.array_equal(spikes, before)
+
+    def test_mask_increases_silent_fraction(self, rng):
+        spikes = random_spike_tensor(20, 100, 4, 0.8, silent_fraction=0.6, rng=rng)
+        masked = mask_low_activity_neurons(spikes)
+        assert silent_neuron_fraction(masked) >= silent_neuron_fraction(spikes)

@@ -1,0 +1,93 @@
+"""Unit tests for the Fiber abstraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sparse.fiber import Fiber
+
+
+def make_fiber(dense, value_bits=8):
+    dense = np.asarray(dense)
+    bitmask = dense != 0
+    return Fiber(bitmask=bitmask, values=dense[bitmask], value_bits=value_bits)
+
+
+class TestFiberBasics:
+    def test_length_matches_bitmask(self):
+        fiber = make_fiber([0, 3, 0, 5])
+        assert fiber.length == 4
+        assert len(fiber) == 4
+
+    def test_nnz_counts_set_bits(self):
+        fiber = make_fiber([0, 3, 0, 5, 7])
+        assert fiber.nnz == 3
+
+    def test_density(self):
+        fiber = make_fiber([0, 3, 0, 5])
+        assert fiber.density == pytest.approx(0.5)
+
+    def test_density_of_empty_fiber(self):
+        fiber = Fiber(bitmask=np.zeros(0, dtype=bool), values=np.array([]))
+        assert fiber.density == 0.0
+        assert fiber.length == 0
+
+    def test_coordinates_are_sorted_positions(self):
+        fiber = make_fiber([0, 3, 0, 5, 0, 9])
+        assert fiber.coordinates.tolist() == [1, 3, 5]
+
+    def test_mismatched_values_raise(self):
+        with pytest.raises(ValueError):
+            Fiber(bitmask=np.array([True, False, True]), values=np.array([1]))
+
+    def test_value_at_present_coordinate(self):
+        fiber = make_fiber([0, 3, 0, 5])
+        assert fiber.value_at(1) == 3
+        assert fiber.value_at(3) == 5
+
+    def test_value_at_absent_coordinate_is_none(self):
+        fiber = make_fiber([0, 3, 0, 5])
+        assert fiber.value_at(0) is None
+
+    def test_equality(self):
+        assert make_fiber([0, 3, 0, 5]) == make_fiber([0, 3, 0, 5])
+        assert make_fiber([0, 3, 0, 5]) != make_fiber([0, 3, 5, 0])
+
+    def test_equality_against_other_type(self):
+        assert make_fiber([1]) != "not a fiber"
+
+
+class TestFiberStorage:
+    def test_bitmask_bits_equal_length(self):
+        fiber = make_fiber([0, 3, 0, 5, 0, 0, 0, 1])
+        assert fiber.bitmask_bits() == 8
+
+    def test_payload_bits_scale_with_value_bits(self):
+        fiber = make_fiber([0, 3, 0, 5], value_bits=4)
+        assert fiber.payload_bits() == 8
+
+    def test_storage_bits_sum(self):
+        fiber = make_fiber([0, 3, 0, 5], value_bits=8)
+        assert fiber.storage_bits(pointer_width=32) == 4 + 16 + 32
+
+    def test_storage_bytes(self):
+        fiber = make_fiber([0, 3, 0, 5], value_bits=8)
+        assert fiber.storage_bytes(pointer_width=32) == pytest.approx((4 + 16 + 32) / 8)
+
+
+class TestFiberDecompress:
+    def test_roundtrip_simple(self):
+        dense = np.array([0, 3, 0, 5, 0, 9])
+        assert np.array_equal(make_fiber(dense).decompress(), dense)
+
+    def test_decompress_with_fill_value(self):
+        fiber = make_fiber([0, 3])
+        assert np.array_equal(fiber.decompress(fill_value=0), np.array([0, 3]))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=-127, max_value=127), min_size=0, max_size=64))
+    def test_roundtrip_property(self, values):
+        dense = np.asarray(values, dtype=np.int64)
+        fiber = make_fiber(dense)
+        assert np.array_equal(fiber.decompress(), dense)
+        assert fiber.nnz == int(np.count_nonzero(dense))
