@@ -109,13 +109,20 @@ class LoASSimulator(SimulatorBase):
         matches = nonsilent @ weight_mask  # (M, N)
         total_matches = float(matches.sum())
 
-        # True accumulations per timestep and the output full sums.
-        full_sums = np.zeros((m_dim, n_dim, t_dim), dtype=np.float64)
-        true_accumulations = 0.0
-        for t in range(t_dim):
-            spikes_t = spikes[:, :, t].astype(np.float64)
-            full_sums[:, :, t] = spikes_t @ weights.astype(np.float64)
-            true_accumulations += float((spikes_t @ weight_mask).sum())
+        # Output full sums: one contraction over k for all timesteps at once
+        # instead of a T-iteration GEMM loop.  Every intermediate value is an
+        # integer far below 2**53, so the float64 result is exact and
+        # independent of the summation order (bit-identical to the loop).
+        full_sums = np.ascontiguousarray(
+            np.tensordot(
+                spikes.astype(np.float64), weights.astype(np.float64), axes=([1], [0])
+            ).transpose(0, 2, 1)
+        )
+        # True accumulations reuse the same contraction idea: the per-neuron
+        # spike counts against the weight mask give the genuine accumulate
+        # count summed over all timesteps.
+        spike_counts = spikes.sum(axis=2, dtype=np.float64)
+        true_accumulations = float((spike_counts @ weight_mask).sum())
         corrections = total_matches * t_dim - true_accumulations
 
         output_spikes = lif_fire(full_sums, self.lif)
