@@ -12,6 +12,8 @@ The package is organised bottom-up:
   circuits, crossbar and systolic-array substrates,
 * :mod:`repro.dataflow` -- loop-nest analysis of spMspM dataflows with a
   temporal dimension,
+* :mod:`repro.engine` -- the shared workload-evaluation engine: per-layer
+  tensors and statistics computed once and cached across simulators,
 * :mod:`repro.core` -- the FTP dataflow, the FTP-friendly inner join, TPPE,
   P-LIF and the LoAS accelerator simulator,
 * :mod:`repro.baselines` -- SparTen/GoSPA/Gamma "-SNN" baselines, the ANN
@@ -28,6 +30,7 @@ Quick start::
 """
 
 from .core import LoASConfig, LoASSimulator, ftp_layer
+from .engine import LayerEvaluation, WorkloadEvaluationCache, default_cache
 from .snn import (
     LIFParameters,
     get_layer_workload,
@@ -39,10 +42,13 @@ from .sparse import PackedSpikeMatrix
 
 __all__ = [
     "LIFParameters",
+    "LayerEvaluation",
     "LoASConfig",
     "LoASSimulator",
     "PackedSpikeMatrix",
+    "WorkloadEvaluationCache",
     "__version__",
+    "default_cache",
     "ftp_layer",
     "get_layer_workload",
     "get_network_workload",

@@ -7,14 +7,21 @@ innermost position and processed *sequentially*.  These helpers hold the
 quantities several of those models need: compressed-format sizes, per-layer
 match statistics and the simple capacity-based refetch estimator used when a
 working set exceeds the global SRAM.
+
+The per-layer statistics themselves are computed by the shared
+workload-evaluation engine (:mod:`repro.engine`); the
+:func:`collect_layer_statistics` entry point is kept as a thin wrapper for
+callers driving a model with raw tensors.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 
 import numpy as np
+
+from ..engine.evaluation import LayerEvaluation
+from ..engine.statistics import LayerStatistics
 
 __all__ = [
     "coordinate_bits",
@@ -62,87 +69,13 @@ def streaming_refetch_factor(operand_bytes: float, resident_bytes: float, capaci
     return 1.0 + (passes - 1) * missing_fraction
 
 
-@dataclass
-class LayerStatistics:
-    """Exact sparsity statistics of one ``(A, B)`` layer pair.
-
-    Attributes
-    ----------
-    m, k, n, t:
-        Layer dimensions.
-    nnz_weights:
-        Non-zero weights in ``B``.
-    nnz_spikes:
-        Non-zero spikes in ``A`` (across all timesteps).
-    nonsilent_neurons:
-        ``(m, k)`` positions that fire at least once.
-    matches:
-        ``(M, N)`` array of non-silent x non-zero-weight matched positions.
-    true_acs:
-        ``(M, N)`` array of genuine accumulate operations (spike = 1 and
-        weight != 0, summed over timesteps).
-    true_acs_per_t:
-        Total genuine accumulations per timestep, shape ``(T,)``.
-    active_columns_per_t:
-        Number of ``k`` columns of ``A`` with at least one spike, per
-        timestep (drives outer-product B-row fetches).
-    weight_row_nnz:
-        Non-zeros per row of ``B``, shape ``(K,)``.
-    spikes_per_row_t:
-        Non-zero spikes per ``(m, t)`` pair, shape ``(M, T)``.
-    """
-
-    m: int
-    k: int
-    n: int
-    t: int
-    nnz_weights: int
-    nnz_spikes: int
-    nonsilent_neurons: int
-    matches: np.ndarray
-    true_acs: np.ndarray
-    true_acs_per_t: np.ndarray
-    active_columns_per_t: np.ndarray
-    weight_row_nnz: np.ndarray
-    spikes_per_row_t: np.ndarray
-
-
 def collect_layer_statistics(spikes: np.ndarray, weights: np.ndarray) -> LayerStatistics:
-    """Compute the exact per-layer statistics every baseline model consumes."""
-    spikes = np.asarray(spikes)
-    weights = np.asarray(weights)
-    if spikes.ndim != 3 or weights.ndim != 2:
-        raise ValueError("expected spikes (M, K, T) and weights (K, N)")
-    if spikes.shape[1] != weights.shape[0]:
-        raise ValueError("contraction dimension mismatch")
-    m, k, t = spikes.shape
-    n = weights.shape[1]
-    weight_mask = (weights != 0).astype(np.float64)
-    nonsilent = spikes.any(axis=2)
-    matches = nonsilent.astype(np.float64) @ weight_mask
+    """Compute the exact per-layer statistics every baseline model consumes.
 
-    true_acs = np.zeros((m, n), dtype=np.float64)
-    true_acs_per_t = np.zeros(t, dtype=np.float64)
-    active_columns = np.zeros(t, dtype=np.int64)
-    for ti in range(t):
-        spikes_t = spikes[:, :, ti].astype(np.float64)
-        acs_t = spikes_t @ weight_mask
-        true_acs += acs_t
-        true_acs_per_t[ti] = acs_t.sum()
-        active_columns[ti] = int((spikes[:, :, ti].any(axis=0)).sum())
-
-    return LayerStatistics(
-        m=m,
-        k=k,
-        n=n,
-        t=t,
-        nnz_weights=int(weight_mask.sum()),
-        nnz_spikes=int(spikes.sum()),
-        nonsilent_neurons=int(nonsilent.sum()),
-        matches=matches,
-        true_acs=true_acs,
-        true_acs_per_t=true_acs_per_t,
-        active_columns_per_t=active_columns,
-        weight_row_nnz=(weights != 0).sum(axis=1).astype(np.int64),
-        spikes_per_row_t=spikes.sum(axis=1).astype(np.int64),
-    )
+    Thin wrapper over the shared workload-evaluation engine: builds a
+    one-off :class:`~repro.engine.evaluation.LayerEvaluation` and returns
+    its vectorised statistics bundle.  Simulators driven through
+    ``simulate_workload`` receive a cached evaluation instead and never call
+    this.
+    """
+    return LayerEvaluation(spikes, weights).statistics

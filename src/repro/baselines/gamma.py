@@ -17,8 +17,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.base import SimulatorBase
+from ..engine import AnnLayerEvaluation, LayerEvaluation
 from ..metrics.results import SimulationResult
-from .common import bitmask_fiber_bytes, collect_layer_statistics, coordinate_bits
+from .common import bitmask_fiber_bytes, coordinate_bits
 
 __all__ = ["GammaSNN", "GammaANN"]
 
@@ -43,12 +44,19 @@ class GammaSNN(SimulatorBase):
     merge_throughput = 16.0
 
     def simulate_layer(
-        self, spikes: np.ndarray, weights: np.ndarray, name: str = "layer", **kwargs
+        self,
+        spikes: np.ndarray,
+        weights: np.ndarray,
+        name: str = "layer",
+        evaluation: LayerEvaluation | None = None,
+        **kwargs,
     ) -> SimulationResult:
         """Simulate one dual-sparse SNN layer on Gamma-SNN."""
         cfg = self.config
         energy_model = cfg.energy
-        stats = collect_layer_statistics(spikes, weights)
+        if evaluation is None:
+            evaluation = LayerEvaluation(spikes, weights)
+        stats = evaluation.statistics
         m, k, n, t = stats.m, stats.k, stats.n, stats.t
         result = SimulationResult(accelerator=self.name, workload=name)
         total_true_acs = float(stats.true_acs_per_t.sum())
@@ -99,7 +107,7 @@ class GammaSNN(SimulatorBase):
         # On-chip: every non-zero spike pulls a weight row from the
         # FiberCache; every merge round reads and writes the partial row.
         weight_row_bytes = stats.weight_row_nnz * (cfg.weight_bits + coordinate_bits(n)) / 8.0
-        spikes_per_column_t = np.asarray(spikes).sum(axis=0).astype(np.float64)  # (K, T)
+        spikes_per_column_t = stats.spikes_per_column_t.astype(np.float64)  # (K, T)
         sram_b = float((spikes_per_column_t.sum(axis=1) * weight_row_bytes).sum())
         partial_row_traffic = 2.0 * float(
             (merge_rounds * partial_row_elements * self.psum_bytes).sum()
@@ -143,25 +151,26 @@ class GammaANN(SimulatorBase):
     merge_throughput = 16.0
 
     def simulate_layer(
-        self, activations: np.ndarray, weights: np.ndarray, name: str = "layer", **kwargs
+        self,
+        activations: np.ndarray,
+        weights: np.ndarray,
+        name: str = "layer",
+        evaluation: AnnLayerEvaluation | None = None,
+        **kwargs,
     ) -> SimulationResult:
         """Simulate one dual-sparse ANN layer (``activations`` is ``(M, K)``)."""
-        activations = np.asarray(activations)
-        weights = np.asarray(weights)
-        if activations.ndim != 2 or weights.ndim != 2:
-            raise ValueError("expected activations (M, K) and weights (K, N)")
+        if evaluation is None:
+            evaluation = AnnLayerEvaluation(activations, weights)
         cfg = self.config
         energy_model = cfg.energy
-        m, k = activations.shape
-        n = weights.shape[1]
+        m, k, n = evaluation.m, evaluation.k, evaluation.n
         result = SimulationResult(accelerator=self.name, workload=name)
 
-        act_mask = (activations != 0).astype(np.float64)
-        weight_mask = (weights != 0).astype(np.float64)
-        weight_row_nnz = weight_mask.sum(axis=1)
-        true_macs = float((act_mask @ weight_mask).sum())
-        nnz_act = int(act_mask.sum())
-        nnz_w = int(weight_mask.sum())
+        act_mask = evaluation.act_mask
+        weight_row_nnz = evaluation.weight_row_nnz
+        true_macs = evaluation.total_matches
+        nnz_act = evaluation.nnz_activations
+        nnz_w = evaluation.nnz_weights
         activation_bits = 8
 
         nnz_per_row = act_mask.sum(axis=1)
@@ -172,8 +181,7 @@ class GammaANN(SimulatorBase):
         a_bytes = bitmask_fiber_bytes(k, nnz_act, m, activation_bits, cfg.pointer_bits)
         b_payload = nnz_w * cfg.weight_bits / 8.0
         b_format = nnz_w * coordinate_bits(n) / 8.0 + k * cfg.pointer_bits / 8.0
-        outputs = np.maximum(activations.astype(np.float64) @ weights.astype(np.float64), 0)
-        output_bytes = bitmask_fiber_bytes(n, int((outputs > 0).sum()), m, activation_bits, cfg.pointer_bits)
+        output_bytes = bitmask_fiber_bytes(n, evaluation.output_nnz, m, activation_bits, cfg.pointer_bits)
 
         result.dram.add("input", nnz_act * activation_bits / 8.0)
         result.dram.add("format", a_bytes - nnz_act * activation_bits / 8.0 + b_format)

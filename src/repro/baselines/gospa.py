@@ -18,8 +18,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.base import SimulatorBase
+from ..engine import LayerEvaluation
 from ..metrics.results import SimulationResult
-from .common import collect_layer_statistics, coordinate_bits, csr_bytes
+from .common import coordinate_bits, csr_bytes
 
 __all__ = ["GoSPASNN"]
 
@@ -42,12 +43,19 @@ class GoSPASNN(SimulatorBase):
     psum_update_throughput = 4.0
 
     def simulate_layer(
-        self, spikes: np.ndarray, weights: np.ndarray, name: str = "layer", **kwargs
+        self,
+        spikes: np.ndarray,
+        weights: np.ndarray,
+        name: str = "layer",
+        evaluation: LayerEvaluation | None = None,
+        **kwargs,
     ) -> SimulationResult:
         """Simulate one dual-sparse SNN layer on GoSPA-SNN."""
         cfg = self.config
         energy_model = cfg.energy
-        stats = collect_layer_statistics(spikes, weights)
+        if evaluation is None:
+            evaluation = LayerEvaluation(spikes, weights)
+        stats = evaluation.statistics
         m, k, n, t = stats.m, stats.k, stats.n, stats.t
         result = SimulationResult(accelerator=self.name, workload=name)
         total_true_acs = float(stats.true_acs_per_t.sum())
@@ -94,12 +102,11 @@ class GoSPASNN(SimulatorBase):
         # pulls the corresponding weight row once per timestep; every psum
         # update reads and writes the psum memory.
         weight_row_bytes = stats.weight_row_nnz * (cfg.weight_bits + coordinate_bits(n)) / 8.0
-        active_any = np.zeros(k, dtype=np.float64)
-        sram_b = 0.0
-        for ti in range(t):
-            active_t = np.asarray(spikes[:, :, ti]).any(axis=0)
-            sram_b += float(weight_row_bytes[active_t].sum())
-            active_any = np.maximum(active_any, active_t)
+        # One weight-row fetch per active k column per timestep, in one
+        # masked product instead of a per-timestep Python loop.
+        active_mask = stats.active_column_mask  # (K, T)
+        sram_b = float((weight_row_bytes[:, None] * active_mask).sum())
+        active_any = active_mask.any(axis=1)
         sram_psum = total_true_acs * self.psum_access_bytes + 2.0 * psum_dram_bytes
         result.sram.add("input", a_csr_bytes)
         result.sram.add("weight", sram_b)

@@ -21,8 +21,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.base import SimulatorBase
+from ..engine import AnnLayerEvaluation, LayerEvaluation
 from ..metrics.results import SimulationResult
-from .common import bitmask_fiber_bytes, collect_layer_statistics, streaming_refetch_factor
+from .common import bitmask_fiber_bytes, streaming_refetch_factor
 
 __all__ = ["SparTenSNN", "SparTenANN"]
 
@@ -38,12 +39,19 @@ class SparTenSNN(SimulatorBase):
     per_timestep_overhead_cycles = 12
 
     def simulate_layer(
-        self, spikes: np.ndarray, weights: np.ndarray, name: str = "layer", **kwargs
+        self,
+        spikes: np.ndarray,
+        weights: np.ndarray,
+        name: str = "layer",
+        evaluation: LayerEvaluation | None = None,
+        **kwargs,
     ) -> SimulationResult:
         """Simulate one dual-sparse SNN layer on SparTen-SNN."""
         cfg = self.config
         energy_model = cfg.energy
-        stats = collect_layer_statistics(spikes, weights)
+        if evaluation is None:
+            evaluation = LayerEvaluation(spikes, weights)
+        stats = evaluation.statistics
         m, k, n, t = stats.m, stats.k, stats.n, stats.t
         result = SimulationResult(accelerator=self.name, workload=name)
 
@@ -122,25 +130,25 @@ class SparTenANN(SimulatorBase):
     name = "SparTen-ANN"
 
     def simulate_layer(
-        self, activations: np.ndarray, weights: np.ndarray, name: str = "layer", **kwargs
+        self,
+        activations: np.ndarray,
+        weights: np.ndarray,
+        name: str = "layer",
+        evaluation: AnnLayerEvaluation | None = None,
+        **kwargs,
     ) -> SimulationResult:
         """Simulate one dual-sparse ANN layer (``activations`` is ``(M, K)``)."""
-        activations = np.asarray(activations)
-        weights = np.asarray(weights)
-        if activations.ndim != 2 or weights.ndim != 2:
-            raise ValueError("expected activations (M, K) and weights (K, N)")
+        if evaluation is None:
+            evaluation = AnnLayerEvaluation(activations, weights)
         cfg = self.config
         energy_model = cfg.energy
-        m, k = activations.shape
-        n = weights.shape[1]
+        m, k, n = evaluation.m, evaluation.k, evaluation.n
         result = SimulationResult(accelerator=self.name, workload=name)
 
-        act_mask = (activations != 0).astype(np.float64)
-        weight_mask = (weights != 0).astype(np.float64)
-        matches = act_mask @ weight_mask
-        total_matches = float(matches.sum())
-        nnz_act = int(act_mask.sum())
-        nnz_w = int(weight_mask.sum())
+        matches = evaluation.matches
+        total_matches = evaluation.total_matches
+        nnz_act = evaluation.nnz_activations
+        nnz_w = evaluation.nnz_weights
 
         chunks = cfg.bitmask_chunks(k)
         task_cycles = chunks + matches + cfg.task_overhead_cycles
@@ -149,7 +157,7 @@ class SparTenANN(SimulatorBase):
         activation_bits = 8
         a_bytes = bitmask_fiber_bytes(k, nnz_act, m, activation_bits, cfg.pointer_bits)
         b_bytes = bitmask_fiber_bytes(k, nnz_w, n, cfg.weight_bits, cfg.pointer_bits)
-        output_nnz = int((np.maximum(activations.astype(np.float64) @ weights.astype(np.float64), 0) > 0).sum())
+        output_nnz = evaluation.output_nnz
         output_bytes = bitmask_fiber_bytes(n, output_nnz, m, activation_bits, cfg.pointer_bits)
         row_groups = -(-m // cfg.num_tppes)
 

@@ -15,6 +15,7 @@ import numpy as np
 
 from ..arch.systolic import SystolicArray
 from ..core.base import SimulatorBase
+from ..engine import LayerEvaluation
 from ..metrics.results import SimulationResult
 
 __all__ = ["StellarSimulator"]
@@ -30,20 +31,23 @@ class StellarSimulator(SimulatorBase):
         self.array = array or SystolicArray(rows=16, cols=4)
 
     def simulate_layer(
-        self, spikes: np.ndarray, weights: np.ndarray, name: str = "layer", **kwargs
+        self,
+        spikes: np.ndarray,
+        weights: np.ndarray,
+        name: str = "layer",
+        evaluation: LayerEvaluation | None = None,
+        **kwargs,
     ) -> SimulationResult:
         """Simulate one SNN layer on Stellar (spike skipping, dense weights)."""
-        spikes = np.asarray(spikes)
-        weights = np.asarray(weights)
-        if spikes.ndim != 3 or weights.ndim != 2:
-            raise ValueError("expected spikes (M, K, T) and weights (K, N)")
+        if evaluation is None:
+            evaluation = LayerEvaluation(spikes, weights)
         cfg = self.config
         energy_model = cfg.energy
-        m, k, t = spikes.shape
-        n = weights.shape[1]
+        m, k, t = evaluation.m, evaluation.k, evaluation.t
+        n = evaluation.n
         result = SimulationResult(accelerator=self.name, workload=name)
 
-        spike_density = float(np.count_nonzero(spikes) / spikes.size)
+        spike_density = evaluation.spike_density
         # Fully temporal-parallel: all T timesteps of an output are produced
         # in one pass and the decoupled FS accumulate stage skips zero spikes
         # in each temporal lane independently, so the streamed reduction

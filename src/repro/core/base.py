@@ -4,8 +4,11 @@ All accelerator models implement ``simulate_layer(spikes, weights, name)``
 returning a :class:`~repro.metrics.results.SimulationResult`.  This base
 class adds the common plumbing on top of that single method:
 
-* generating tensors from a :class:`~repro.snn.workloads.LayerWorkload` and
-  simulating them (``simulate_workload``),
+* evaluating a :class:`~repro.snn.workloads.LayerWorkload` through the
+  shared workload-evaluation engine and simulating it
+  (``simulate_workload``) -- tensors and statistics come from the
+  process-wide :class:`~repro.engine.cache.WorkloadEvaluationCache`, so
+  several simulators sweeping the same workloads share one evaluation,
 * iterating a :class:`~repro.snn.workloads.NetworkWorkload` layer by layer
   and aggregating the results (``simulate_network``), and
 * the roofline-style combination of compute cycles with DRAM / SRAM
@@ -16,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..engine import LayerEvaluation, default_cache
 from ..metrics.results import SimulationResult, aggregate_results
 from ..snn.workloads import LayerWorkload, NetworkWorkload
 from .config import LoASConfig
@@ -49,12 +53,27 @@ class SimulatorBase:
         workload: LayerWorkload,
         rng: np.random.Generator | None = None,
         finetuned: bool = False,
+        evaluation: LayerEvaluation | None = None,
         **kwargs,
     ) -> SimulationResult:
-        """Generate the workload's tensors and simulate the layer."""
-        rng = np.random.default_rng(0) if rng is None else rng
-        spikes, weights = workload.generate(rng=rng, finetuned=finetuned)
-        return self.simulate_layer(spikes, weights, name=workload.name, **kwargs)
+        """Evaluate the workload through the shared engine and simulate it.
+
+        The tensors (and every derived statistic) come from the process-wide
+        workload-evaluation cache: simulating the same workload fingerprint
+        with an equal generator state reuses the existing evaluation instead
+        of regenerating.  Pass ``evaluation`` to simulate a pre-computed
+        evaluation directly.
+        """
+        if evaluation is None:
+            rng = np.random.default_rng(0) if rng is None else rng
+            evaluation = default_cache().evaluate(workload, rng, finetuned=finetuned)
+        return self.simulate_layer(
+            evaluation.spikes,
+            evaluation.weights,
+            name=workload.name,
+            evaluation=evaluation,
+            **kwargs,
+        )
 
     def simulate_network(
         self,
@@ -103,7 +122,10 @@ class SimulatorBase:
         if group_size < 1:
             raise ValueError("group_size must be at least 1")
         groups = -(-m // group_size)
-        padded = np.zeros((groups * group_size, n))
-        padded[:m] = task_cycles
+        if m == groups * group_size:
+            padded = np.ascontiguousarray(task_cycles)
+        else:
+            padded = np.zeros((groups * group_size, n))
+            padded[:m] = task_cycles
         waves = padded.reshape(groups, group_size, n).max(axis=1)
         return float(waves.sum())

@@ -18,8 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..sparse.matrix import mask_low_activity_neurons
-from ..sparse.packed import PackedSpikeMatrix
+from ..sparse.packed import PackedSpikeMatrix, pack_spike_words, popcount
 from .config import LoASConfig
 
 __all__ = ["CompressorResult", "OutputCompressor"]
@@ -40,12 +39,15 @@ class CompressorResult:
     dropped_neurons:
         Output neurons discarded by the preprocessing rule (0 when
         preprocessing is disabled).
+    silent_output_neurons:
+        Output neurons that were silent *before* the preprocessing rule.
     """
 
     packed: PackedSpikeMatrix
     cycles: float
     output_bytes: float
     dropped_neurons: int
+    silent_output_neurons: int = 0
 
 
 @dataclass
@@ -68,14 +70,20 @@ class OutputCompressor:
         output_spikes = np.asarray(output_spikes)
         if output_spikes.ndim != 3:
             raise ValueError("expected an (M, N, T) output spike tensor")
-        before_silent = int((output_spikes.sum(axis=2) == 0).sum())
+        m, n, t = output_spikes.shape
+        # Work directly on the packed words: the preprocessing rule (mask
+        # neurons firing at most once) zeroes exactly the words whose
+        # popcount is <= 1, so no dense masked tensor is ever materialised.
+        words = pack_spike_words(output_spikes)
+        counts = popcount(words.astype(np.uint64))
+        before_silent = int((counts == 0).sum())
         if preprocess:
-            output_spikes = mask_low_activity_neurons(output_spikes, max_spikes=1)
-        after_silent = int((output_spikes.sum(axis=2) == 0).sum())
-        packed = PackedSpikeMatrix.from_dense(output_spikes)
+            words = np.where(counts <= 1, 0, words)
+        nonsilent = words != 0
+        after_silent = int(words.size - nonsilent.sum())
+        packed = PackedSpikeMatrix(words=words, nonsilent=nonsilent, shape=(m, n, t))
 
         # One inverted laggy prefix-sum pass per output-row bitmask chunk.
-        m, n, _ = output_spikes.shape
         chunks_per_row = self.config.bitmask_chunks(n)
         cycles = m * chunks_per_row * self.config.laggy_latency_cycles
         output_bytes = packed.storage_bytes(self.config.pointer_bits)
@@ -84,4 +92,5 @@ class OutputCompressor:
             cycles=float(cycles),
             output_bytes=float(output_bytes),
             dropped_neurons=after_silent - before_silent,
+            silent_output_neurons=before_silent,
         )

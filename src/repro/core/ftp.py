@@ -26,11 +26,15 @@ __all__ = ["ftp_spmspm", "ftp_layer"]
 def ftp_spmspm(spikes: np.ndarray, weights: np.ndarray) -> np.ndarray:
     """Execute Algorithm 1 lines 1-6: the spMspM portion of the FTP dataflow.
 
-    The loop structure mirrors the algorithm: ``m`` and ``n`` iterate over
-    output neurons; the reduction over ``k`` only visits positions where the
-    packed spike word is non-silent *and* the weight is non-zero (the
-    inner-join condition); the accumulation across ``t`` happens for all
-    timesteps of a matched position at once (the ``parallel-for t``).
+    The algorithm's loop nest -- ``m`` and ``n`` over output neurons, a
+    reduction over ``k`` restricted to matched (non-silent spike word AND
+    non-zero weight) positions, and a ``parallel-for t`` accumulating all
+    timesteps of a matched position at once -- collapses into a single
+    contraction over ``k``: the inner-join mask is implicit because silent
+    neurons contribute all-zero spike words and pruned weights contribute
+    zero, so unmatched positions add nothing.  The contraction runs in int64,
+    making the result bit-identical to the explicit O(M*N) Python loop it
+    replaces.
 
     Returns the full-sum tensor ``O`` of shape ``(M, N, T)``.
     """
@@ -40,23 +44,10 @@ def ftp_spmspm(spikes: np.ndarray, weights: np.ndarray) -> np.ndarray:
         raise ValueError("expected spikes (M, K, T) and weights (K, N)")
     if spikes.shape[1] != weights.shape[0]:
         raise ValueError("contraction dimension mismatch")
-    m_dim, _, t_dim = spikes.shape
-    n_dim = weights.shape[1]
-    output = np.zeros((m_dim, n_dim, t_dim), dtype=np.int64)
-    nonsilent = spikes.any(axis=2)
-    weight_mask = weights != 0
-    for m in range(m_dim):
-        row_mask = nonsilent[m]
-        row_spikes = spikes[m]
-        for n in range(n_dim):
-            matched = row_mask & weight_mask[:, n]
-            if not matched.any():
-                continue
-            # parallel-for t: one vectorised accumulation per matched k.
-            output[m, n, :] = (
-                row_spikes[matched].astype(np.int64).T @ weights[matched, n].astype(np.int64)
-            )
-    return output
+    output = np.tensordot(
+        spikes.astype(np.int64), weights.astype(np.int64), axes=([1], [0])
+    )  # (M, T, N)
+    return np.ascontiguousarray(output.transpose(0, 2, 1))
 
 
 def ftp_layer(

@@ -106,21 +106,21 @@ class InnerJoinUnit:
         weight_offsets = np.cumsum(weight_fiber.bitmask) - 1
         spike_offsets = np.cumsum(spike_fiber.bitmask) - 1
 
-        pseudo_sum = 0
-        corrections = np.zeros(timesteps, dtype=np.int64)
-        perfect = 0
-        correction_accumulations = 0
+        # Gather the matched payloads and unpack all spike words at once;
+        # perfect (all-ones) words have no zero bits, so they naturally
+        # contribute nothing to the corrections.
         all_ones = (1 << timesteps) - 1
-        for position in matched_positions:
-            weight = int(weight_fiber.values[weight_offsets[position]])
-            pseudo_sum += weight
-            word = int(spike_fiber.values[spike_offsets[position]])
-            if word == all_ones:
-                perfect += 1
-                continue
-            zero_bits = unpack_spike_words(np.array(word), timesteps) == 0
-            corrections[zero_bits] += weight
-            correction_accumulations += int(zero_bits.sum())
+        matched_weights = (
+            np.asarray(weight_fiber.values)[weight_offsets[matched_positions]].astype(np.int64)
+        )
+        matched_words = (
+            np.asarray(spike_fiber.values)[spike_offsets[matched_positions]].astype(np.int64)
+        )
+        pseudo_sum = int(matched_weights.sum())
+        zero_bits = unpack_spike_words(matched_words, timesteps) == 0  # (matches, T)
+        corrections = (matched_weights[:, None] * zero_bits).sum(axis=0, dtype=np.int64)
+        correction_accumulations = int(zero_bits.sum())
+        perfect = int((matched_words == all_ones).sum())
 
         per_timestep = pseudo_sum - corrections
         chunks = self.config.bitmask_chunks(spike_fiber.length)

@@ -26,11 +26,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..engine import LayerEvaluation
 from ..metrics.results import SimulationResult
 from ..snn.layers import LayerOutput
-from ..snn.lif import LIFParameters, lif_fire
-from ..sparse.matrix import mask_low_activity_neurons
-from ..sparse.packed import PackedSpikeMatrix
+from ..snn.lif import LIFParameters
 from .base import SimulatorBase
 from .compressor import OutputCompressor
 from .config import LoASConfig
@@ -67,6 +66,7 @@ class LoASSimulator(SimulatorBase):
         weights: np.ndarray,
         name: str = "layer",
         preprocess: bool = False,
+        evaluation: LayerEvaluation | None = None,
         **kwargs,
     ) -> SimulationResult:
         """Simulate one layer of a dual-sparse SNN on LoAS.
@@ -82,51 +82,36 @@ class LoASSimulator(SimulatorBase):
         preprocess:
             Apply the fine-tuned preprocessing (mask input neurons firing
             only once, and drop such neurons from the produced output).
+        evaluation:
+            Pre-computed (possibly cached) evaluation of the tensor pair;
+            built on the fly when driven with raw tensors.
         """
-        spikes = np.asarray(spikes)
-        weights = np.asarray(weights)
-        if spikes.ndim != 3 or weights.ndim != 2:
-            raise ValueError("expected spikes (M, K, T) and weights (K, N)")
-        if spikes.shape[1] != weights.shape[0]:
-            raise ValueError("contraction dimension mismatch")
+        if evaluation is None:
+            evaluation = LayerEvaluation(spikes, weights)
         cfg = self.config
         energy_model = cfg.energy
 
         if preprocess:
-            spikes = mask_low_activity_neurons(spikes, max_spikes=1)
+            evaluation = evaluation.preprocessed(max_spikes=1)
 
-        m_dim, k_dim, t_dim = spikes.shape
-        n_dim = weights.shape[1]
+        m_dim, k_dim, t_dim = evaluation.m, evaluation.k, evaluation.t
+        n_dim = evaluation.n
         result = SimulationResult(accelerator=self.name, workload=name)
 
-        packed = PackedSpikeMatrix.from_dense(spikes)
-        nonsilent = packed.nonsilent_matrix().astype(np.float64)
-        weight_mask = (weights != 0).astype(np.float64)
-        nnz_weights = int(weight_mask.sum())
+        packed = evaluation.packed
+        nnz_weights = evaluation.nnz_weights
 
         # Matched positions per output neuron (non-silent spike AND non-zero
         # weight): the work each TPPE performs.
-        matches = nonsilent @ weight_mask  # (M, N)
-        total_matches = float(matches.sum())
+        matches = evaluation.matches  # (M, N)
+        total_matches = evaluation.total_matches
 
-        # Output full sums: one contraction over k for all timesteps at once
-        # instead of a T-iteration GEMM loop.  Every intermediate value is an
-        # integer far below 2**53, so the float64 result is exact and
-        # independent of the summation order (bit-identical to the loop).
-        full_sums = np.ascontiguousarray(
-            np.tensordot(
-                spikes.astype(np.float64), weights.astype(np.float64), axes=([1], [0])
-            ).transpose(0, 2, 1)
-        )
-        # True accumulations reuse the same contraction idea: the per-neuron
-        # spike counts against the weight mask give the genuine accumulate
-        # count summed over all timesteps.
-        spike_counts = spikes.sum(axis=2, dtype=np.float64)
-        true_accumulations = float((spike_counts @ weight_mask).sum())
+        # True accumulations and the output full sums come from the shared
+        # evaluation (single tensordot over k, exact integer arithmetic).
+        true_accumulations = evaluation.true_accumulations
         corrections = total_matches * t_dim - true_accumulations
 
-        output_spikes = lif_fire(full_sums, self.lif)
-        compression = self.compressor.compress(output_spikes, preprocess=preprocess)
+        compression = evaluation.compress_output(self.compressor, self.lif, preprocess=preprocess)
 
         # ---------------- compute cycles ---------------- #
         chunks = cfg.bitmask_chunks(k_dim)
@@ -203,8 +188,8 @@ class LoASSimulator(SimulatorBase):
         result.add_ops("prefix_sum_invocations", prefix_invocations)
         result.extra["silent_fraction"] = packed.silent_fraction
         result.extra["pe_utilization"] = self.scheduler.pe_utilization(m_dim, n_dim)
-        result.extra["output_silent_fraction"] = float(
-            (output_spikes.sum(axis=2) == 0).mean()
+        result.extra["output_silent_fraction"] = (
+            compression.silent_output_neurons / (m_dim * n_dim) if m_dim * n_dim else 0.0
         )
         result.extra["dropped_output_neurons"] = float(compression.dropped_neurons)
         return result

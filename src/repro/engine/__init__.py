@@ -1,0 +1,41 @@
+"""Shared workload-evaluation engine.
+
+The engine turns workload evaluation into a first-class, cacheable value:
+
+* :class:`~repro.engine.evaluation.LayerEvaluation` computes everything any
+  simulator needs from one ``(spikes, weights)`` pair -- packed formats,
+  masks, matched positions, full sums, LIF outputs, activity profiles --
+  lazily and exactly once,
+* :class:`~repro.engine.statistics.LayerStatistics` is the statistics bundle
+  the baseline cost models consume, and
+* :class:`~repro.engine.cache.WorkloadEvaluationCache` shares evaluations
+  across simulators (and across repeated sweeps) behind an LRU keyed by the
+  workload + generator fingerprint.
+
+``SimulatorBase.simulate_workload`` pulls from the process-wide default
+cache, so running five simulators over one figure sweep generates and
+analyses each workload once instead of five times.  See ``ROADMAP.md``
+("Shared workload-evaluation engine") for how to build a new simulator on
+top of the engine.
+"""
+
+from .cache import (
+    WorkloadEvaluationCache,
+    clear_default_cache,
+    default_cache,
+    generator_fingerprint,
+    workload_fingerprint,
+)
+from .evaluation import AnnLayerEvaluation, LayerEvaluation
+from .statistics import LayerStatistics
+
+__all__ = [
+    "AnnLayerEvaluation",
+    "LayerEvaluation",
+    "LayerStatistics",
+    "WorkloadEvaluationCache",
+    "clear_default_cache",
+    "default_cache",
+    "generator_fingerprint",
+    "workload_fingerprint",
+]

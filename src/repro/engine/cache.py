@@ -1,0 +1,173 @@
+"""Workload-evaluation cache: one evaluation per workload fingerprint.
+
+Every figure sweep in the paper drives *several* simulators over the *same*
+workloads with the *same* seeds: without sharing, each simulator regenerates
+identical random tensors and recomputes identical statistics.  The cache
+here makes workload evaluation a first-class, cacheable value.
+
+Cache-key semantics
+-------------------
+A cached entry is keyed by the exact information that determines the
+generated tensors:
+
+* the **workload fingerprint** -- layer dimensions ``(m, k, n, t)``, the
+  four sparsity-profile fractions, the weight bit-width and the
+  ``finetuned`` flag (workload *names* are deliberately excluded: tensors
+  depend only on shape and sparsity), and
+* the **generator fingerprint** -- the full ``bit_generator.state`` of the
+  :class:`numpy.random.Generator` at the moment of generation.
+
+Keying on the generator state makes the cache exact for *sequences* of
+layers: when ``simulate_network`` walks a network with one shared generator,
+each layer's key captures the generator position, so two simulators walking
+the same network with equal seeds hit the cache layer by layer.  On a hit
+the generator is fast-forwarded to the recorded post-generation state, so
+the caller's stream of randomness is bit-identical to having regenerated --
+downstream draws cannot diverge.
+
+Generated tensors are marked non-writeable before they are shared, so a
+misbehaving simulator cannot corrupt other simulators' results.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+import numpy.random  # noqa: F401 -- eager: numpy loads this lazily, and the
+# first simulated workload should not pay the submodule-import cost.
+
+from ..snn.workloads import LayerWorkload
+from .evaluation import LayerEvaluation
+
+__all__ = [
+    "WorkloadEvaluationCache",
+    "default_cache",
+    "clear_default_cache",
+    "workload_fingerprint",
+    "generator_fingerprint",
+]
+
+
+def _freeze(value):
+    """Recursively convert a bit-generator state into a hashable value."""
+    if isinstance(value, dict):
+        return tuple((key, _freeze(entry)) for key, entry in sorted(value.items()))
+    if isinstance(value, np.ndarray):
+        return (value.dtype.str, value.shape, value.tobytes())
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(entry) for entry in value)
+    return value
+
+
+def generator_fingerprint(rng: np.random.Generator):
+    """Hashable fingerprint of a generator's exact current state."""
+    return _freeze(rng.bit_generator.state)
+
+
+def workload_fingerprint(workload: LayerWorkload, finetuned: bool = False):
+    """Hashable fingerprint of everything that determines a workload's tensors."""
+    shape = workload.shape
+    profile = workload.profile
+    return (
+        shape.m,
+        shape.k,
+        shape.n,
+        shape.t,
+        profile.spike_sparsity,
+        profile.silent_fraction,
+        profile.silent_fraction_finetuned,
+        profile.weight_sparsity,
+        workload.weight_bits,
+        bool(finetuned),
+    )
+
+
+@dataclass
+class _CacheEntry:
+    evaluation: LayerEvaluation
+    state_after: dict
+
+
+class WorkloadEvaluationCache:
+    """LRU cache of :class:`LayerEvaluation` objects keyed by fingerprint.
+
+    ``maxsize`` bounds the number of cached layer evaluations (the paper's
+    three networks evaluated with and without fine-tuning need ~80 entries).
+    The cache is not thread-safe; use one cache per worker when sharding.
+    """
+
+    def __init__(self, maxsize: int = 128):
+        if maxsize < 1:
+            raise ValueError("maxsize must be at least 1")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[tuple, _CacheEntry] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every cached evaluation and reset the hit/miss counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def cache_info(self) -> dict[str, int]:
+        """Current ``{hits, misses, entries, maxsize}`` counters."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._entries),
+            "maxsize": self.maxsize,
+        }
+
+    def evaluate(
+        self,
+        workload: LayerWorkload,
+        rng: np.random.Generator,
+        finetuned: bool = False,
+    ) -> LayerEvaluation:
+        """Return the (possibly cached) evaluation of ``workload``.
+
+        On a cache hit the generator is advanced to the state it would have
+        reached by regenerating, so callers sharing one generator across a
+        sequence of layers observe bit-identical randomness either way.
+        """
+        try:
+            key = (workload_fingerprint(workload, finetuned), generator_fingerprint(rng))
+        except AttributeError:
+            # Custom workload objects without shape/profile fingerprints fall
+            # back to uncached generation.
+            spikes, weights = workload.generate(rng=rng, finetuned=finetuned)
+            return LayerEvaluation(spikes, weights)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            rng.bit_generator.state = entry.state_after
+            return entry.evaluation
+        self.misses += 1
+        spikes, weights = workload.generate(rng=rng, finetuned=finetuned)
+        spikes.setflags(write=False)
+        weights.setflags(write=False)
+        entry = _CacheEntry(LayerEvaluation(spikes, weights), rng.bit_generator.state)
+        self._entries[key] = entry
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return entry.evaluation
+
+
+_DEFAULT_CACHE = WorkloadEvaluationCache()
+
+
+def default_cache() -> WorkloadEvaluationCache:
+    """The process-wide cache used by ``SimulatorBase.simulate_workload``."""
+    return _DEFAULT_CACHE
+
+
+def clear_default_cache() -> None:
+    """Reset the process-wide cache (used by cold-start benchmarks)."""
+    _DEFAULT_CACHE.clear()

@@ -1,0 +1,413 @@
+"""Single-computation evaluation of one dual-sparse layer.
+
+:class:`LayerEvaluation` is the shared substrate of every accelerator model
+in this repository: it owns the ``(spikes A, weights B)`` tensor pair of one
+layer and computes -- lazily, and exactly once -- every derived quantity a
+simulator may ask for:
+
+* the packed-temporal compression of ``A`` and the non-silent / weight masks,
+* the ``(M, N)`` matched-position matrix of the inner join,
+* the full-sum tensor ``O`` (one ``np.tensordot`` over ``k`` instead of a
+  per-timestep GEMM loop) and the LIF output spikes derived from it,
+* per-accelerator true-accumulation counts and the per-timestep / per-row /
+  per-column activity profiles the baseline dataflows charge traffic for,
+* the compressed output footprint of the next layer.
+
+Everything is integer-valued, so the vectorised contractions are
+bit-identical to the loop-based seed implementations regardless of
+summation order (all intermediates are exactly representable in float64).
+
+Simulators receive a ``LayerEvaluation`` either from the workload cache
+(:mod:`repro.engine.cache`) -- in which case the heavy statistics are shared
+across *all* simulators evaluating the same workload -- or build a private
+one on the fly when driven with raw tensors through ``simulate_layer``.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+
+from ..snn.lif import LIFParameters, lif_fire
+from ..sparse.packed import PackedSpikeMatrix, pack_spike_words, popcount
+from .statistics import LayerStatistics
+
+__all__ = ["LayerEvaluation", "AnnLayerEvaluation"]
+
+
+def _readonly(array: np.ndarray) -> np.ndarray:
+    """Mark a derived array read-only before it is shared across simulators."""
+    array.setflags(write=False)
+    return array
+
+
+class LayerEvaluation:
+    """Lazily-computed, shareable evaluation of one ``(A, B)`` layer pair.
+
+    Parameters
+    ----------
+    spikes:
+        Input spike tensor ``A`` of shape ``(M, K, T)``.
+    weights:
+        Weight matrix ``B`` of shape ``(K, N)``.
+
+    The instance is read-only: one evaluation may be shared by many
+    simulators, so every derived array is marked non-writeable as it is
+    computed, and the workload cache additionally marks the generated
+    ``spikes`` / ``weights`` tensors non-writeable.
+    """
+
+    def __init__(self, spikes: np.ndarray, weights: np.ndarray):
+        spikes = np.asarray(spikes)
+        weights = np.asarray(weights)
+        if spikes.ndim != 3 or weights.ndim != 2:
+            raise ValueError("expected spikes (M, K, T) and weights (K, N)")
+        if spikes.shape[1] != weights.shape[0]:
+            raise ValueError("contraction dimension mismatch")
+        self.spikes = spikes
+        self.weights = weights
+        self._output_spikes: dict[tuple, np.ndarray] = {}
+        self._compressions: dict[tuple, object] = {}
+        self._preprocessed: dict[int, "LayerEvaluation"] = {}
+
+    # ------------------------------------------------------------------ #
+    # Dimensions
+    # ------------------------------------------------------------------ #
+    @property
+    def m(self) -> int:
+        """Number of rows of ``A`` (output spatial positions)."""
+        return self.spikes.shape[0]
+
+    @property
+    def k(self) -> int:
+        """Contraction dimension."""
+        return self.spikes.shape[1]
+
+    @property
+    def t(self) -> int:
+        """Number of timesteps."""
+        return self.spikes.shape[2]
+
+    @property
+    def n(self) -> int:
+        """Number of output neurons (columns of ``B``)."""
+        return self.weights.shape[1]
+
+    # ------------------------------------------------------------------ #
+    # Compression and masks
+    # ------------------------------------------------------------------ #
+    @cached_property
+    def packed_words(self) -> np.ndarray:
+        """``(M, K)`` int64 matrix of packed ``T``-bit spike words."""
+        return _readonly(pack_spike_words(self.spikes))
+
+    @cached_property
+    def packed(self) -> PackedSpikeMatrix:
+        """``A`` compressed into the FTP-friendly packed-temporal format."""
+        return PackedSpikeMatrix(
+            words=self.packed_words, nonsilent=self.nonsilent, shape=self.spikes.shape
+        )
+
+    @cached_property
+    def nonsilent(self) -> np.ndarray:
+        """Boolean ``(M, K)`` mask of neurons firing at least once.
+
+        Derived from the packed words (a neuron is silent exactly when its
+        packed word is zero), so the dense tensor is scanned only once for
+        both the compression and the mask.
+        """
+        return _readonly(self.packed_words != 0)
+
+    @cached_property
+    def weight_mask(self) -> np.ndarray:
+        """Float ``(K, N)`` indicator of non-zero weights."""
+        return _readonly((self.weights != 0).astype(np.float64))
+
+    @cached_property
+    def nnz_weights(self) -> int:
+        """Number of non-zero weights in ``B``."""
+        return int(self.weight_row_nnz.sum())
+
+    @cached_property
+    def spike_counts_int(self) -> np.ndarray:
+        """``(M, K)`` per-neuron spike counts (popcount of the packed words)."""
+        return _readonly(popcount(self.packed_words))
+
+    @cached_property
+    def nnz_spikes(self) -> int:
+        """Number of non-zero spikes in ``A`` across all timesteps."""
+        return int(self.spike_counts_int.sum(dtype=np.int64))
+
+    @cached_property
+    def spike_density(self) -> float:
+        """Fraction of non-zero entries in ``A``."""
+        if self.spikes.size == 0:
+            return 0.0
+        return float(np.count_nonzero(self.spikes) / self.spikes.size)
+
+    # ------------------------------------------------------------------ #
+    # Inner-join statistics
+    # ------------------------------------------------------------------ #
+    @cached_property
+    def _join_products(self) -> tuple[np.ndarray, np.ndarray]:
+        """Matches and true accumulations from one stacked GEMM.
+
+        Both are ``X @ weight_mask`` products with integer-valued operands,
+        so stacking the two left-hand sides halves the GEMM dispatch
+        overhead without changing any value.
+        """
+        stacked = np.concatenate(
+            [self.nonsilent.astype(np.float64), self.spike_counts], axis=0
+        )
+        product = stacked @ self.weight_mask
+        return _readonly(product[: self.m]), _readonly(product[self.m :])
+
+    @cached_property
+    def matches(self) -> np.ndarray:
+        """``(M, N)`` matched (non-silent x non-zero-weight) positions."""
+        return self._join_products[0]
+
+    @cached_property
+    def total_matches(self) -> float:
+        """Total matched positions across all output neurons."""
+        return float(self.matches.sum())
+
+    @property
+    def spike_counts(self) -> np.ndarray:
+        """Float ``(M, K)`` spike counts per neuron (sum over timesteps).
+
+        Deliberately not cached: it is consumed once (by the stacked join
+        GEMM) and is cheap to rebuild from the integer counts.
+        """
+        return self.spike_counts_int.astype(np.float64)
+
+    @cached_property
+    def true_acs(self) -> np.ndarray:
+        """``(M, N)`` genuine accumulations, summed over timesteps."""
+        return self._join_products[1]
+
+    @cached_property
+    def true_accumulations(self) -> float:
+        """Total genuine accumulate operations of the layer."""
+        return float(self.true_acs.sum())
+
+    @cached_property
+    def true_acs_per_t(self) -> np.ndarray:
+        """Total genuine accumulations per timestep, shape ``(T,)``."""
+        per_column = self.spikes_per_column_t.astype(np.float64)  # (K, T)
+        return _readonly(per_column.T @ self.weight_row_nnz.astype(np.float64))
+
+    # ------------------------------------------------------------------ #
+    # Activity profiles (baseline dataflow traffic drivers)
+    # ------------------------------------------------------------------ #
+    @cached_property
+    def active_column_mask(self) -> np.ndarray:
+        """Boolean ``(K, T)`` mask of columns with at least one spike."""
+        return _readonly(self.spikes_per_column_t > 0)
+
+    @cached_property
+    def active_columns_per_t(self) -> np.ndarray:
+        """Active ``k`` columns per timestep, shape ``(T,)`` (int64)."""
+        return _readonly(self.active_column_mask.sum(axis=0, dtype=np.int64))
+
+    @cached_property
+    def weight_row_nnz(self) -> np.ndarray:
+        """Non-zero weights per row of ``B``, shape ``(K,)`` (int64)."""
+        return _readonly(self.weight_mask.sum(axis=1).astype(np.int64))
+
+    @cached_property
+    def spikes_per_row_t(self) -> np.ndarray:
+        """Spikes per ``(m, t)`` pair, shape ``(M, T)`` (int64)."""
+        return _readonly(self.spikes.sum(axis=1, dtype=np.int64))
+
+    @cached_property
+    def spikes_per_column_t(self) -> np.ndarray:
+        """Spikes per ``(k, t)`` pair, shape ``(K, T)`` (int64)."""
+        return _readonly(self.spikes.sum(axis=0, dtype=np.int64))
+
+    @cached_property
+    def statistics(self) -> LayerStatistics:
+        """The full statistics bundle the baseline models consume."""
+        return LayerStatistics(
+            m=self.m,
+            k=self.k,
+            n=self.n,
+            t=self.t,
+            nnz_weights=self.nnz_weights,
+            nnz_spikes=self.nnz_spikes,
+            nonsilent_neurons=int(self.nonsilent.sum()),
+            matches=self.matches,
+            true_acs=self.true_acs,
+            true_acs_per_t=self.true_acs_per_t,
+            active_columns_per_t=self.active_columns_per_t,
+            weight_row_nnz=self.weight_row_nnz,
+            spikes_per_row_t=self.spikes_per_row_t,
+            active_column_mask=self.active_column_mask,
+            spikes_per_column_t=self.spikes_per_column_t,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Functional outputs
+    # ------------------------------------------------------------------ #
+    @cached_property
+    def full_sums(self) -> np.ndarray:
+        """Full-sum tensor ``O`` of shape ``(M, N, T)`` (float64, exact).
+
+        One contraction over ``k`` for all timesteps at once; every
+        intermediate is an exactly representable integer, so the result is
+        bit-identical to a per-timestep GEMM loop.  The operand is laid out
+        as one ``(M*T, K)`` matrix up front so the GEMM runs without any
+        internal re-copy.
+        """
+        m, k, t, n = self.m, self.k, self.t, self.n
+        lhs = self.spikes.transpose(0, 2, 1).astype(np.float64).reshape(m * t, k)
+        sums = lhs @ self.weights.astype(np.float64)  # (M*T, N)
+        return _readonly(sums.reshape(m, t, n).transpose(0, 2, 1))
+
+    def output_spikes(self, params: LIFParameters | None = None) -> np.ndarray:
+        """LIF output spikes for ``full_sums`` (memoised per parameter set)."""
+        params = params or LIFParameters()
+        key = (params.threshold, params.leak)
+        spikes = self._output_spikes.get(key)
+        if spikes is None:
+            spikes = _readonly(lif_fire(self.full_sums, params))
+            self._output_spikes[key] = spikes
+        return spikes
+
+    def compress_output(self, compressor, params: LIFParameters | None = None, preprocess: bool = False):
+        """Compressed next-layer footprint of the output spikes.
+
+        ``compressor`` is an :class:`repro.core.compressor.OutputCompressor`
+        (typed loosely to keep the engine free of core imports); the result
+        is memoised on the compressor-config attributes the compression
+        actually depends on, so simulators sharing one evaluation also share
+        the packing work.
+        """
+        params = params or LIFParameters()
+        cfg = compressor.config
+        key = (
+            params.threshold,
+            params.leak,
+            bool(preprocess),
+            cfg.pointer_bits,
+            cfg.bitmask_chunk_bits,
+            cfg.laggy_adders,
+        )
+        compression = self._compressions.get(key)
+        if compression is None:
+            compression = compressor.compress(self.output_spikes(params), preprocess=preprocess)
+            self._compressions[key] = compression
+            # The full-sum and output-spike tensors are the largest derived
+            # arrays and no cost model reads them once the compression is
+            # memoised; drop them so cached evaluations stay light.  They
+            # are lazily recomputed if a caller asks again.
+            self._output_spikes.pop((params.threshold, params.leak), None)
+            self.__dict__.pop("full_sums", None)
+        return compression
+
+    def preprocessed(self, max_spikes: int = 1) -> "LayerEvaluation":
+        """Evaluation of the fine-tuned preprocessed copy of this layer.
+
+        Neurons firing at most ``max_spikes`` times are masked (treated as
+        silent); the derived evaluation is memoised so the preprocessed
+        statistics are also computed only once.
+        """
+        derived = self._preprocessed.get(max_spikes)
+        if derived is None:
+            # Same semantics as sparse.matrix.mask_low_activity_neurons, but
+            # reusing the already-computed per-neuron spike counts.
+            counts = self.spike_counts_int
+            dropped = (counts > 0) & (counts <= max_spikes)
+            masked = self.spikes.copy()
+            masked[dropped] = 0
+            derived = LayerEvaluation(masked, self.weights)
+            # Masking a neuron zeroes exactly its packed word, so the
+            # derived packed words need no second scan of the dense tensor.
+            derived.packed_words = np.where(dropped, 0, self.packed_words)
+            self._preprocessed[max_spikes] = derived
+        return derived
+
+
+class AnnLayerEvaluation:
+    """Shared evaluation of one dual-sparse ANN ``(activations, weights)`` pair.
+
+    The ANN counterpart of :class:`LayerEvaluation` for the SNN-vs-ANN
+    comparison (Figure 18): the SparTen-ANN and Gamma-ANN baselines consume
+    the same activation/weight masks, matched-position matrix and ReLU
+    outputs, so one evaluation can drive both models.
+    """
+
+    def __init__(self, activations: np.ndarray, weights: np.ndarray):
+        activations = np.asarray(activations)
+        weights = np.asarray(weights)
+        if activations.ndim != 2 or weights.ndim != 2:
+            raise ValueError("expected activations (M, K) and weights (K, N)")
+        if activations.shape[1] != weights.shape[0]:
+            raise ValueError("contraction dimension mismatch")
+        self.activations = activations
+        self.weights = weights
+
+    @property
+    def m(self) -> int:
+        """Number of activation rows."""
+        return self.activations.shape[0]
+
+    @property
+    def k(self) -> int:
+        """Contraction dimension."""
+        return self.activations.shape[1]
+
+    @property
+    def n(self) -> int:
+        """Number of output neurons."""
+        return self.weights.shape[1]
+
+    @cached_property
+    def act_mask(self) -> np.ndarray:
+        """Float ``(M, K)`` indicator of non-zero activations."""
+        return _readonly((self.activations != 0).astype(np.float64))
+
+    @cached_property
+    def weight_mask(self) -> np.ndarray:
+        """Float ``(K, N)`` indicator of non-zero weights."""
+        return _readonly((self.weights != 0).astype(np.float64))
+
+    @cached_property
+    def nnz_activations(self) -> int:
+        """Number of non-zero activations."""
+        return int(self.act_mask.sum())
+
+    @cached_property
+    def nnz_weights(self) -> int:
+        """Number of non-zero weights."""
+        return int(self.weight_mask.sum())
+
+    @cached_property
+    def weight_row_nnz(self) -> np.ndarray:
+        """Non-zero weights per row of ``B``, shape ``(K,)``."""
+        return _readonly(self.weight_mask.sum(axis=1))
+
+    @cached_property
+    def matches(self) -> np.ndarray:
+        """``(M, N)`` matched (non-zero activation x non-zero weight) pairs."""
+        return _readonly(self.act_mask @ self.weight_mask)
+
+    @cached_property
+    def total_matches(self) -> float:
+        """Total matched positions (genuine multiply-accumulates)."""
+        return float(self.matches.sum())
+
+    @cached_property
+    def outputs(self) -> np.ndarray:
+        """ReLU outputs ``max(A @ B, 0)`` in float64 (exact integers)."""
+        return _readonly(
+            np.maximum(
+                self.activations.astype(np.float64) @ self.weights.astype(np.float64), 0
+            )
+        )
+
+    @cached_property
+    def output_nnz(self) -> int:
+        """Number of non-zero ReLU outputs."""
+        return int((self.outputs > 0).sum())

@@ -20,6 +20,7 @@ from ..baselines import (
     ann_layer_tensors,
 )
 from ..core import LoASSimulator
+from ..engine import AnnLayerEvaluation
 from ..metrics.report import format_series, format_table
 from ..metrics.results import aggregate_results
 from ..snn.preprocessing import finetuned_preprocessing_experiment
@@ -100,13 +101,22 @@ def run_fig18(
         snn_network, rng=np.random.default_rng(seed), finetuned=True, preprocess=True
     )
 
+    # One shared ANN evaluation per layer: both baselines consume the same
+    # masks / matches / ReLU outputs (each simulator previously regenerated
+    # identical tensors from an equal seed).
+    rng = np.random.default_rng(seed)
+    evaluations = [
+        (layer.name, AnnLayerEvaluation(*ann_layer_tensors(layer, rng=rng)))
+        for layer in snn_network.layers
+    ]
     ann_results = {}
     for simulator in (SparTenANN(), GammaANN()):
-        layer_results = []
-        rng = np.random.default_rng(seed)
-        for layer in snn_network.layers:
-            activations, weights = ann_layer_tensors(layer, rng=rng)
-            layer_results.append(simulator.simulate_layer(activations, weights, name=layer.name))
+        layer_results = [
+            simulator.simulate_layer(
+                evaluation.activations, evaluation.weights, name=name, evaluation=evaluation
+            )
+            for name, evaluation in evaluations
+        ]
         ann_results[simulator.name] = aggregate_results(
             layer_results, accelerator=simulator.name, workload=network
         )

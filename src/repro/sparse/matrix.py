@@ -112,22 +112,24 @@ def random_spike_tensor(
     total_spikes = max(total_spikes, n_active)
     total_spikes = min(total_spikes, n_active * t)
 
-    # Guarantee one spike per active neuron at a random timestep.
-    active_rows, active_cols = np.nonzero(active)
+    # Guarantee one spike per active neuron at a random timestep.  All
+    # indexing runs on the flat (m*k, t) view: flat neuron index i = row*k +
+    # col enumerates active neurons in the same row-major order np.nonzero
+    # would, without materialising the 2-D coordinate arrays.
+    flat_spikes = spikes.reshape(m * k, t)
+    active_flat = np.flatnonzero(active)
     first_spike_t = rng.integers(0, t, size=n_active)
-    spikes[active_rows, active_cols, first_spike_t] = 1
+    flat_spikes[active_flat, first_spike_t] = 1
 
     remaining = total_spikes - n_active
     if remaining > 0:
         # Candidate slots: all (active neuron, timestep) pairs not yet used.
-        slot_rows = np.repeat(active_rows, t)
-        slot_cols = np.repeat(active_cols, t)
-        slot_ts = np.tile(np.arange(t), n_active)
-        used = spikes[slot_rows, slot_cols, slot_ts] == 1
-        free = ~used
+        # Slot i*t + ti maps to (active neuron i, timestep ti) in the same
+        # C-order a dense (neuron, timestep) enumeration would use.
+        free = flat_spikes[active_flat] == 0  # (n_active, t)
         free_idx = np.flatnonzero(free)
         chosen = rng.choice(free_idx, size=min(remaining, free_idx.size), replace=False)
-        spikes[slot_rows[chosen], slot_cols[chosen], slot_ts[chosen]] = 1
+        flat_spikes[active_flat[chosen // t], chosen % t] = 1
     return spikes
 
 

@@ -12,11 +12,17 @@ The compression efficiency therefore scales with the *silent-neuron* density
 rather than with the per-timestep spike sparsity, and memory accesses along
 the temporal dimension are contiguous -- exactly what the fully
 temporal-parallel dataflow needs.
+
+The matrix is stored array-backed (one ``(M, K)`` word matrix plus the
+non-silent mask): construction, spike accounting and the aggregate storage
+footprint are fully vectorised / O(1), and the per-row :class:`Fiber`
+objects -- needed only by the fiber-level units such as the inner join --
+are materialised lazily on first access.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -26,8 +32,21 @@ from .matrix import silent_neuron_mask
 __all__ = [
     "pack_spike_words",
     "unpack_spike_words",
+    "popcount",
     "PackedSpikeMatrix",
 ]
+
+_POPCOUNT_TABLE = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
+
+
+def popcount(words: np.ndarray) -> np.ndarray:
+    """Per-element population count of a non-negative integer array."""
+    words = np.asarray(words)
+    if hasattr(np, "bitwise_count"):
+        return np.bitwise_count(words)
+    # Fallback for numpy < 2.0: table lookup over the byte view.
+    flat = np.ascontiguousarray(words, dtype=np.uint64)
+    return _POPCOUNT_TABLE[flat.view(np.uint8)].reshape(flat.shape + (8,)).sum(axis=-1)
 
 
 def pack_spike_words(spikes: np.ndarray) -> np.ndarray:
@@ -35,13 +54,25 @@ def pack_spike_words(spikes: np.ndarray) -> np.ndarray:
 
     Bit ``t`` (LSB = timestep 0) of the output word is the spike at timestep
     ``t``.  The output has the input shape without the trailing ``T`` axis.
+    Packing runs through ``np.packbits`` (one C pass, no ``T``-times-larger
+    temporary); for ``T <= 8`` the packed byte itself is the word (uint8),
+    larger ``T`` assembles an int64 word byte by byte.
     """
     spikes = np.asarray(spikes)
     t = spikes.shape[-1]
     if t > 63:
         raise ValueError("packing supports at most 63 timesteps")
-    weights = (1 << np.arange(t, dtype=np.int64))
-    return (spikes.astype(np.int64) * weights).sum(axis=-1)
+    if t == 0:
+        return np.zeros(spikes.shape[:-1], dtype=np.int64)
+    if spikes.dtype != np.uint8 and spikes.dtype != np.bool_:
+        spikes = spikes != 0
+    packed_bytes = np.packbits(spikes, axis=-1, bitorder="little")
+    if t <= 8:
+        return packed_bytes[..., 0]
+    words = packed_bytes[..., 0].astype(np.int64)
+    for i in range(1, packed_bytes.shape[-1]):
+        words |= packed_bytes[..., i].astype(np.int64) << (8 * i)
+    return words
 
 
 def unpack_spike_words(words: np.ndarray, timesteps: int) -> np.ndarray:
@@ -57,34 +88,32 @@ class PackedSpikeMatrix:
 
     Parameters
     ----------
-    fibers:
-        One fiber per row ``m``.  The fiber bitmask has one bit per
-        pre-synaptic neuron ``k`` (1 = non-silent); payload values are the
-        packed ``T``-bit spike words of the non-silent neurons.
+    words:
+        ``(M, K)`` integer matrix of packed ``T``-bit spike words (zero for
+        silent neurons, which are not stored; uint8 for ``T <= 8``, int64
+        otherwise).
+    nonsilent:
+        Boolean ``(M, K)`` mask of non-silent neurons (the fiber bitmasks).
     shape:
         Original dense shape ``(M, K, T)``.
     """
 
-    fibers: list[Fiber]
+    words: np.ndarray
+    nonsilent: np.ndarray
     shape: tuple[int, int, int]
+    _fibers: list[Fiber] | None = field(default=None, init=False, repr=False, compare=False)
+    _nnz: int | None = field(default=None, init=False, repr=False, compare=False)
 
     @classmethod
     def from_dense(cls, spikes: np.ndarray) -> "PackedSpikeMatrix":
-        """Compress an ``M x K x T`` unary spike tensor."""
+        """Compress an ``M x K x T`` unary spike tensor (fully vectorised)."""
         spikes = np.asarray(spikes)
         if spikes.ndim != 3:
             raise ValueError("expected an M x K x T spike tensor")
         m, k, t = spikes.shape
         words = pack_spike_words(spikes)
-        silent = silent_neuron_mask(spikes)
-        fibers = []
-        offset = 0
-        for i in range(m):
-            bitmask = ~silent[i]
-            values = words[i][bitmask]
-            fibers.append(Fiber(bitmask=bitmask, values=values, pointer=offset, value_bits=t))
-            offset += int(bitmask.sum())
-        return cls(fibers=fibers, shape=(m, k, t))
+        nonsilent = ~silent_neuron_mask(spikes)
+        return cls(words=words, nonsilent=nonsilent, shape=(m, k, t))
 
     # ------------------------------------------------------------------ #
     # Properties
@@ -106,8 +135,10 @@ class PackedSpikeMatrix:
 
     @property
     def nnz(self) -> int:
-        """Total number of stored (non-silent) neurons."""
-        return sum(f.nnz for f in self.fibers)
+        """Total number of stored (non-silent) neurons (computed once)."""
+        if self._nnz is None:
+            self._nnz = int(self.nonsilent.sum())
+        return self._nnz
 
     @property
     def silent_fraction(self) -> float:
@@ -117,24 +148,44 @@ class PackedSpikeMatrix:
             return 0.0
         return 1.0 - self.nnz / total
 
+    @property
+    def fibers(self) -> list[Fiber]:
+        """One fiber per row, materialised lazily from the backing arrays."""
+        if self._fibers is None:
+            counts = self.nonsilent.sum(axis=1)
+            pointers = np.zeros(self.num_rows, dtype=np.int64)
+            if self.num_rows:
+                pointers[1:] = np.cumsum(counts)[:-1]
+            payload = self.words[self.nonsilent]  # row-major = coordinate order
+            self._fibers = [
+                Fiber(
+                    bitmask=self.nonsilent[i],
+                    values=payload[pointers[i] : pointers[i] + counts[i]],
+                    pointer=int(pointers[i]),
+                    value_bits=self.timesteps,
+                )
+                for i in range(self.num_rows)
+            ]
+        return self._fibers
+
     def fiber(self, row: int) -> Fiber:
         """Return the compressed fiber for row ``row``."""
         return self.fibers[row]
 
     # ------------------------------------------------------------------ #
-    # Storage accounting
+    # Storage accounting (O(1) aggregates)
     # ------------------------------------------------------------------ #
     def payload_bits(self) -> int:
-        """Bits spent on packed spike words."""
-        return sum(f.payload_bits() for f in self.fibers)
+        """Bits spent on packed spike words (one ``T``-bit word per stored neuron)."""
+        return self.nnz * self.timesteps
 
     def bitmask_bits(self) -> int:
-        """Bits spent on the non-silent bitmasks."""
-        return sum(f.bitmask_bits() for f in self.fibers)
+        """Bits spent on the non-silent bitmasks (one bit per neuron)."""
+        return self.num_rows * self.num_neurons
 
     def storage_bits(self, pointer_width: int = 32) -> int:
         """Total compressed footprint in bits."""
-        return sum(f.storage_bits(pointer_width) for f in self.fibers)
+        return self.bitmask_bits() + self.payload_bits() + self.num_rows * pointer_width
 
     def storage_bytes(self, pointer_width: int = 32) -> float:
         """Total compressed footprint in bytes."""
@@ -161,22 +212,23 @@ class PackedSpikeMatrix:
         return self.captured_spikes() / payload
 
     def captured_spikes(self) -> int:
-        """Number of original single-bit spikes (value 1) captured."""
-        return int(sum(int(bin(int(v)).count("1")) for f in self.fibers for v in f.values))
+        """Number of original single-bit spikes (value 1) captured.
+
+        One vectorised popcount over the word matrix (silent words are zero
+        and contribute nothing) instead of a Python-level ``bin(...).count``
+        per stored word.
+        """
+        if self.words.size == 0:
+            return 0
+        return int(popcount(self.words).sum(dtype=np.int64))
 
     # ------------------------------------------------------------------ #
     # Reconstruction
     # ------------------------------------------------------------------ #
     def to_dense(self) -> np.ndarray:
         """Reconstruct the dense ``M x K x T`` unary spike tensor."""
-        m, k, t = self.shape
-        dense = np.zeros((m, k, t), dtype=np.uint8)
-        for i, f in enumerate(self.fibers):
-            words = np.zeros(k, dtype=np.int64)
-            words[f.bitmask] = f.values
-            dense[i] = unpack_spike_words(words, t)
-        return dense
+        return unpack_spike_words(self.words, self.timesteps)
 
     def nonsilent_matrix(self) -> np.ndarray:
         """Boolean ``M x K`` matrix of non-silent neurons (the fiber bitmasks)."""
-        return np.stack([f.bitmask for f in self.fibers], axis=0)
+        return self.nonsilent
