@@ -1,9 +1,32 @@
-"""Setup shim for environments without the ``wheel`` package.
+"""Packaging metadata for the LoAS reproduction.
 
-``pip install -e . --no-build-isolation`` falls back to the legacy
-``setup.py develop`` path through this file; all project metadata lives in
-``pyproject.toml``.
+The project is a plain ``src``-layout package; a fresh clone installs with
+
+    pip install -e .[test]
+
+which brings in pytest and pytest-benchmark for the tier-1 suite and the
+figure benchmarks.
 """
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="loas-repro",
+    version="0.1.0",
+    description=(
+        "Reproduction of LoAS: fully temporal-parallel dataflow for "
+        "dual-sparse spiking neural networks (MICRO 2024)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy>=1.24",
+    ],
+    extras_require={
+        "test": [
+            "pytest>=7.0",
+            "pytest-benchmark>=4.0",
+            "hypothesis>=6.0",
+        ],
+    },
+)
