@@ -1,0 +1,310 @@
+"""Equivalence suite for the shared workload-evaluation engine.
+
+Two families of guarantees are asserted here:
+
+1. **Statistics equivalence** -- every vectorised quantity the engine
+   computes (full sums, matches, true accumulations, activity profiles,
+   packed-format accounting) is bit-identical to a straightforward
+   loop-based reference that mirrors the seed implementation.
+2. **Simulator equivalence** -- every accelerator produces a
+   ``SimulationResult`` through the cached-engine path
+   (``simulate_workload`` / ``simulate_network``) that is bit-identical to
+   simulating the very same tensors through the raw ``simulate_layer``
+   entry point, and repeated cached evaluations replay the generator
+   stream exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    GammaANN,
+    GammaSNN,
+    GoSPASNN,
+    PTBSimulator,
+    SparTenANN,
+    SparTenSNN,
+)
+from repro.baselines.stellar import StellarSimulator
+from repro.core import LoASSimulator
+from repro.engine import (
+    LayerEvaluation,
+    WorkloadEvaluationCache,
+    default_cache,
+    workload_fingerprint,
+)
+from repro.snn.lif import lif_fire
+from repro.snn.network import LayerShape
+from repro.snn.workloads import LayerWorkload, SparsityProfile, get_layer_workload
+from repro.sparse.matrix import (
+    mask_low_activity_neurons,
+    random_spike_tensor,
+    random_weight_matrix,
+)
+
+ALL_SNN_SIMULATORS = [
+    LoASSimulator,
+    SparTenSNN,
+    GoSPASNN,
+    GammaSNN,
+    PTBSimulator,
+    StellarSimulator,
+]
+
+REPRESENTATIVE_LAYERS = ("A-L4", "V-L8", "R-L19", "T-HFF")
+
+
+# --------------------------------------------------------------------- #
+# Loop-based references mirroring the seed implementation
+# --------------------------------------------------------------------- #
+def reference_full_sums(spikes, weights):
+    """Per-timestep float64 GEMM loop (the seed ``full_sums`` computation)."""
+    m, k, t = spikes.shape
+    n = weights.shape[1]
+    full_sums = np.zeros((m, n, t), dtype=np.float64)
+    for ti in range(t):
+        full_sums[:, :, ti] = spikes[:, :, ti].astype(np.float64) @ weights.astype(np.float64)
+    return full_sums
+
+
+def reference_statistics(spikes, weights):
+    """Seed-style loop computation of the per-layer statistics."""
+    m, k, t = spikes.shape
+    n = weights.shape[1]
+    weight_mask = (weights != 0).astype(np.float64)
+    nonsilent = spikes.any(axis=2)
+    matches = nonsilent.astype(np.float64) @ weight_mask
+    true_acs = np.zeros((m, n), dtype=np.float64)
+    true_acs_per_t = np.zeros(t, dtype=np.float64)
+    active_columns = np.zeros(t, dtype=np.int64)
+    true_accumulations = 0.0
+    for ti in range(t):
+        spikes_t = spikes[:, :, ti].astype(np.float64)
+        acs_t = spikes_t @ weight_mask
+        true_acs += acs_t
+        true_acs_per_t[ti] = acs_t.sum()
+        active_columns[ti] = int(spikes[:, :, ti].any(axis=0).sum())
+        true_accumulations += float(acs_t.sum())
+    return {
+        "nnz_weights": int(weight_mask.sum()),
+        "nnz_spikes": int(spikes.sum()),
+        "nonsilent_neurons": int(nonsilent.sum()),
+        "matches": matches,
+        "true_acs": true_acs,
+        "true_acs_per_t": true_acs_per_t,
+        "true_accumulations": true_accumulations,
+        "active_columns_per_t": active_columns,
+        "weight_row_nnz": (weights != 0).sum(axis=1).astype(np.int64),
+        "spikes_per_row_t": spikes.sum(axis=1).astype(np.int64),
+        "spikes_per_column_t": spikes.sum(axis=0).astype(np.int64),
+        "active_column_mask": spikes.any(axis=0),
+    }
+
+
+def assert_results_identical(a, b):
+    """Field-by-field bit-exact comparison of two SimulationResults."""
+    assert a.accelerator == b.accelerator
+    assert a.workload == b.workload
+    assert a.cycles == b.cycles
+    assert a.compute_cycles == b.compute_cycles
+    assert a.memory_cycles == b.memory_cycles
+    assert a.dram.as_dict() == b.dram.as_dict()
+    assert a.sram.as_dict() == b.sram.as_dict()
+    assert dict(a.energy.entries) == dict(b.energy.entries)
+    assert a.ops == b.ops
+    assert a.sram_miss_rate == b.sram_miss_rate
+    assert a.extra == b.extra
+
+
+@pytest.fixture
+def layer_pair(rng):
+    spikes = random_spike_tensor(24, 320, 4, 0.8, silent_fraction=0.66, rng=rng)
+    weights = random_weight_matrix(320, 48, 0.93, rng=rng)
+    return spikes, weights
+
+
+class TestStatisticsEquivalence:
+    def test_full_sums_bit_identical_to_gemm_loop(self, layer_pair):
+        spikes, weights = layer_pair
+        evaluation = LayerEvaluation(spikes, weights)
+        assert np.array_equal(evaluation.full_sums, reference_full_sums(spikes, weights))
+
+    def test_output_spikes_match_lif_on_loop_sums(self, layer_pair):
+        spikes, weights = layer_pair
+        evaluation = LayerEvaluation(spikes, weights)
+        expected = lif_fire(reference_full_sums(spikes, weights))
+        assert np.array_equal(evaluation.output_spikes(), expected)
+
+    def test_statistics_bit_identical_to_loop_reference(self, layer_pair):
+        spikes, weights = layer_pair
+        evaluation = LayerEvaluation(spikes, weights)
+        ref = reference_statistics(spikes, weights)
+        stats = evaluation.statistics
+        assert stats.nnz_weights == ref["nnz_weights"]
+        assert stats.nnz_spikes == ref["nnz_spikes"]
+        assert stats.nonsilent_neurons == ref["nonsilent_neurons"]
+        assert np.array_equal(stats.matches, ref["matches"])
+        assert np.array_equal(stats.true_acs, ref["true_acs"])
+        assert np.array_equal(stats.true_acs_per_t, ref["true_acs_per_t"])
+        assert np.array_equal(stats.active_columns_per_t, ref["active_columns_per_t"])
+        assert np.array_equal(stats.weight_row_nnz, ref["weight_row_nnz"])
+        assert np.array_equal(stats.spikes_per_row_t, ref["spikes_per_row_t"])
+        assert np.array_equal(stats.spikes_per_column_t, ref["spikes_per_column_t"])
+        assert np.array_equal(stats.active_column_mask, ref["active_column_mask"])
+        assert evaluation.true_accumulations == ref["true_accumulations"]
+
+    def test_preprocessed_matches_masking_helper(self, layer_pair):
+        spikes, weights = layer_pair
+        evaluation = LayerEvaluation(spikes, weights)
+        derived = evaluation.preprocessed(max_spikes=1)
+        masked = mask_low_activity_neurons(spikes, max_spikes=1)
+        assert np.array_equal(derived.spikes, masked)
+        assert np.array_equal(
+            derived.packed_words, LayerEvaluation(masked, weights).packed_words
+        )
+
+    def test_packed_accounting_matches_per_fiber_sums(self, layer_pair):
+        spikes, weights = layer_pair
+        packed = LayerEvaluation(spikes, weights).packed
+        assert packed.nnz == sum(f.nnz for f in packed.fibers)
+        assert packed.payload_bits() == sum(f.payload_bits() for f in packed.fibers)
+        assert packed.bitmask_bits() == sum(f.bitmask_bits() for f in packed.fibers)
+        assert packed.storage_bits() == sum(f.storage_bits() for f in packed.fibers)
+        assert packed.captured_spikes() == int(
+            sum(int(bin(int(v)).count("1")) for f in packed.fibers for v in f.values)
+        )
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            LayerEvaluation(np.zeros((2, 3)), np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            LayerEvaluation(np.zeros((2, 3, 4)), np.zeros((2, 2)))
+
+
+class TestSimulatorEquivalence:
+    """Cached-engine path == raw-tensor path for every accelerator."""
+
+    @pytest.mark.parametrize("simulator_cls", ALL_SNN_SIMULATORS)
+    @pytest.mark.parametrize("layer_name", REPRESENTATIVE_LAYERS)
+    def test_workload_path_matches_raw_tensor_path(self, simulator_cls, layer_name):
+        workload = get_layer_workload(layer_name).scaled(0.05)
+        spikes, weights = workload.generate(rng=np.random.default_rng(7))
+        via_tensors = simulator_cls().simulate_layer(spikes, weights, name=workload.name)
+        via_engine = simulator_cls().simulate_workload(
+            workload, rng=np.random.default_rng(7)
+        )
+        assert_results_identical(via_tensors, via_engine)
+
+    @pytest.mark.parametrize("layer_name", REPRESENTATIVE_LAYERS)
+    def test_loas_finetuned_preprocess_path(self, layer_name):
+        workload = get_layer_workload(layer_name).scaled(0.05)
+        spikes, weights = workload.generate(rng=np.random.default_rng(7), finetuned=True)
+        via_tensors = LoASSimulator().simulate_layer(
+            spikes, weights, name=workload.name, preprocess=True
+        )
+        via_engine = LoASSimulator().simulate_workload(
+            workload, rng=np.random.default_rng(7), finetuned=True, preprocess=True
+        )
+        assert_results_identical(via_tensors, via_engine)
+
+    def test_cache_hits_are_bit_identical_across_simulators(self, tiny_workload):
+        cache = default_cache()
+        cache.clear()
+        results = {}
+        for simulator_cls in ALL_SNN_SIMULATORS:
+            results[simulator_cls.name] = simulator_cls().simulate_workload(
+                tiny_workload, rng=np.random.default_rng(3)
+            )
+        assert cache.misses == 1
+        assert cache.hits == len(ALL_SNN_SIMULATORS) - 1
+        # Fresh uncached runs reproduce every cached result exactly.
+        for simulator_cls in ALL_SNN_SIMULATORS:
+            spikes, weights = tiny_workload.generate(rng=np.random.default_rng(3))
+            raw = simulator_cls().simulate_layer(spikes, weights, name=tiny_workload.name)
+            assert_results_identical(raw, results[simulator_cls.name])
+
+    @pytest.mark.parametrize("simulator_cls", [SparTenANN, GammaANN])
+    def test_ann_shared_evaluation_matches_raw_path(self, simulator_cls, rng):
+        from repro.baselines import generate_ann_activations
+        from repro.engine import AnnLayerEvaluation
+
+        activations = generate_ann_activations(16, 128, rng=rng)
+        weights = random_weight_matrix(128, 24, 0.9, rng=rng)
+        raw = simulator_cls().simulate_layer(activations, weights, name="ann")
+        shared = simulator_cls().simulate_layer(
+            activations, weights, name="ann", evaluation=AnnLayerEvaluation(activations, weights)
+        )
+        assert_results_identical(raw, shared)
+
+
+class TestCacheSemantics:
+    def _workload(self, name="tiny", m=6, k=64, n=12, t=4):
+        profile = SparsityProfile(0.8, 0.7, 0.75, 0.9)
+        return LayerWorkload(LayerShape(name, m=m, k=k, n=n, t=t), profile)
+
+    def test_hit_restores_generator_state(self):
+        cache = WorkloadEvaluationCache()
+        workload = self._workload()
+        rng_a = np.random.default_rng(11)
+        cache.evaluate(workload, rng_a)
+        state_after_generation = rng_a.bit_generator.state
+        rng_b = np.random.default_rng(11)
+        cache.evaluate(workload, rng_b)
+        assert rng_b.bit_generator.state == state_after_generation
+
+    def test_sequences_cache_layer_by_layer(self):
+        cache = WorkloadEvaluationCache()
+        workload = self._workload()
+        rng = np.random.default_rng(5)
+        first = cache.evaluate(workload, rng)
+        second = cache.evaluate(workload, rng)  # same workload, advanced state
+        assert first is not second
+        assert cache.misses == 2
+        rng = np.random.default_rng(5)
+        assert cache.evaluate(workload, rng) is first
+        assert cache.evaluate(workload, rng) is second
+        assert cache.hits == 2
+
+    def test_finetuned_flag_is_part_of_the_key(self):
+        cache = WorkloadEvaluationCache()
+        workload = self._workload()
+        plain = cache.evaluate(workload, np.random.default_rng(2))
+        finetuned = cache.evaluate(workload, np.random.default_rng(2), finetuned=True)
+        assert plain is not finetuned
+        assert cache.misses == 2
+
+    def test_fingerprint_ignores_name_but_not_shape(self):
+        base = self._workload(name="a")
+        renamed = self._workload(name="b")
+        resized = self._workload(name="a", k=65)
+        assert workload_fingerprint(base) == workload_fingerprint(renamed)
+        assert workload_fingerprint(base) != workload_fingerprint(resized)
+
+    def test_lru_eviction(self):
+        cache = WorkloadEvaluationCache(maxsize=2)
+        workloads = [self._workload(m=m) for m in (4, 5, 6)]
+        for workload in workloads:
+            cache.evaluate(workload, np.random.default_rng(0))
+        assert len(cache) == 2
+        # The oldest entry was evicted: evaluating it again is a miss.
+        misses = cache.misses
+        cache.evaluate(workloads[0], np.random.default_rng(0))
+        assert cache.misses == misses + 1
+
+    def test_cached_tensors_are_read_only(self):
+        cache = WorkloadEvaluationCache()
+        evaluation = cache.evaluate(self._workload(), np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            evaluation.spikes[0, 0, 0] = 1
+        with pytest.raises(ValueError):
+            evaluation.weights[0, 0] = 1
+
+    def test_network_simulation_is_unchanged_by_cache_state(self, tiny_workload):
+        from repro.snn.workloads import NetworkWorkload
+
+        network = NetworkWorkload("net", [tiny_workload, tiny_workload])
+        simulator = LoASSimulator()
+        default_cache().clear()
+        cold = simulator.simulate_network(network, rng=np.random.default_rng(9))
+        warm = simulator.simulate_network(network, rng=np.random.default_rng(9))
+        assert_results_identical(cold, warm)
