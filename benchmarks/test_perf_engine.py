@@ -1,0 +1,64 @@
+"""Performance tracking for the shared workload-evaluation engine.
+
+Times the Figure 12/13 network sweep (``run_networks(scale=0.25, seed=1)``)
+with a cold and a warm evaluation cache and records the wall-clock numbers
+in ``BENCH_engine.json`` at the repository root, so the performance
+trajectory of the engine is tracked from the PR that introduced it onward.
+
+The cold run measures end-to-end evaluation (tensor generation + statistics
++ simulator cost models, with cross-simulator sharing); the warm run
+measures the pure simulator cost models on a fully populated cache.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.engine import clear_default_cache, default_cache
+from repro.experiments.sweeps import run_networks
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def _time_run() -> float:
+    start = time.perf_counter()
+    run_networks(scale=0.25, seed=1)
+    return time.perf_counter() - start
+
+
+def test_perf_engine_cold_vs_warm():
+    """Cold-vs-warm sweep timing; writes BENCH_engine.json."""
+    # Cold: nothing cached, every workload is generated and analysed once
+    # (one extra throwaway run first so one-time process costs -- lazy
+    # imports, BLAS thread-pool spin-up -- do not pollute the numbers).
+    clear_default_cache()
+    _time_run()
+    clear_default_cache()
+    cold_seconds = _time_run()
+    cold_info = default_cache().cache_info()
+
+    # Warm: every evaluation is served from the cache.
+    warm_seconds = _time_run()
+    warm_info = default_cache().cache_info()
+
+    record = {
+        "benchmark": "run_networks(scale=0.25, seed=1)",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 4),
+        "warm_speedup": round(cold_seconds / warm_seconds, 2) if warm_seconds else None,
+        "cold_cache": cold_info,
+        "warm_cache": warm_info,
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print("\nBENCH_engine: cold %.3fs, warm %.3fs (%.0fx), written to %s" % (
+        cold_seconds, warm_seconds, record["warm_speedup"] or 0.0, BENCH_PATH.name,
+    ))
+
+    # The warm path must skip all tensor generation and statistics work.
+    assert warm_info["hits"] > cold_info["hits"]
+    assert warm_seconds < cold_seconds
