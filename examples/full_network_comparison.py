@@ -2,46 +2,37 @@
 
 Run with::
 
-    python examples/full_network_comparison.py [alexnet|vgg16|resnet19] [scale]
+    python examples/full_network_comparison.py [alexnet|vgg16|resnet19] [scale] [workers]
 
-The script simulates the chosen Table II network on LoAS (with and without
-the fine-tuned preprocessing) and on the SparTen / GoSPA / Gamma "-SNN"
-baselines, printing speedups, energy efficiency and memory traffic exactly as
-the paper's overall-performance figures report them.
+The script drives the sweep orchestrator (``repro.runner``) over the chosen
+Table II network: LoAS (with and without the fine-tuned preprocessing) and
+the SparTen / GoSPA / Gamma "-SNN" baselines, printing speedups, energy
+efficiency and memory traffic exactly as the paper's overall-performance
+figures report them.  Each layer is evaluated once and shared by every
+simulator; pass ``workers >= 2`` to spread independent sweep cells over a
+process pool (results are bit-identical to the serial run).
 """
 
 from __future__ import annotations
 
 import sys
 
-import numpy as np
-
-from repro import LoASSimulator, get_network_workload
-from repro.baselines import GammaSNN, GoSPASNN, SparTenSNN
+from repro.experiments import run_networks
 from repro.metrics import format_table
 
 
 def main() -> None:
     network_name = sys.argv[1] if len(sys.argv) > 1 else "vgg16"
     scale = float(sys.argv[2]) if len(sys.argv) > 2 else 1.0
-    network = get_network_workload(network_name)
-    if scale != 1.0:
-        network = network.scaled(scale)
-    print(f"Simulating {network_name} ({network.num_layers} layers, scale={scale}) ...\n")
-
-    simulators = {
-        "SparTen-SNN": SparTenSNN(),
-        "GoSPA-SNN": GoSPASNN(),
-        "Gamma-SNN": GammaSNN(),
-        "LoAS": LoASSimulator(),
-    }
-    results = {
-        name: sim.simulate_network(network, rng=np.random.default_rng(1))
-        for name, sim in simulators.items()
-    }
-    results["LoAS-FT"] = LoASSimulator().simulate_network(
-        network, rng=np.random.default_rng(1), finetuned=True, preprocess=True
+    workers = int(sys.argv[3]) if len(sys.argv) > 3 else None
+    print(
+        f"Simulating {network_name} (scale={scale}, "
+        f"{'serial' if not workers or workers < 2 else f'{workers} workers'}) ...\n"
     )
+
+    results = run_networks(
+        networks=(network_name,), scale=scale, seed=1, workers=workers
+    )[network_name]
 
     reference = results["SparTen-SNN"]
     rows = []

@@ -10,7 +10,7 @@ Public entry points:
   producing cycles, traffic and energy for any dual-sparse SNN workload.
 """
 
-from .base import SimulatorBase
+from .base import DEFAULT_RNG_SEED, SimulatorBase
 from .compressor import CompressorResult, OutputCompressor
 from .config import LoASConfig
 from .ftp import ftp_layer, ftp_spmspm
@@ -22,6 +22,7 @@ from .tppe import TPPE, TPPEResult
 
 __all__ = [
     "CompressorResult",
+    "DEFAULT_RNG_SEED",
     "InnerJoinResult",
     "InnerJoinUnit",
     "LoASConfig",

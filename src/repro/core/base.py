@@ -24,7 +24,16 @@ from ..metrics.results import SimulationResult, aggregate_results
 from ..snn.workloads import LayerWorkload, NetworkWorkload
 from .config import LoASConfig
 
-__all__ = ["SimulatorBase"]
+__all__ = ["DEFAULT_RNG_SEED", "SimulatorBase"]
+
+#: Seed of the generator used when ``simulate_workload`` /
+#: ``simulate_network`` are called without an explicit ``rng``.  This used
+#: to be a silent ``default_rng(0)`` fallback buried in the drivers; it is
+#: surfaced here so callers can reproduce the implicit stream explicitly
+#: (``np.random.default_rng(DEFAULT_RNG_SEED)``).  The sweep orchestrator
+#: (:mod:`repro.runner`) never relies on it -- the planner threads explicit
+#: per-cell generators through every evaluation.
+DEFAULT_RNG_SEED = 0
 
 
 class SimulatorBase:
@@ -65,7 +74,7 @@ class SimulatorBase:
         evaluation directly.
         """
         if evaluation is None:
-            rng = np.random.default_rng(0) if rng is None else rng
+            rng = np.random.default_rng(DEFAULT_RNG_SEED) if rng is None else rng
             evaluation = default_cache().evaluate(workload, rng, finetuned=finetuned)
         return self.simulate_layer(
             evaluation.spikes,
@@ -83,7 +92,7 @@ class SimulatorBase:
         **kwargs,
     ) -> SimulationResult:
         """Simulate every layer of a network and aggregate the results."""
-        rng = np.random.default_rng(0) if rng is None else rng
+        rng = np.random.default_rng(DEFAULT_RNG_SEED) if rng is None else rng
         results = [
             self.simulate_workload(layer, rng=rng, finetuned=finetuned, **kwargs)
             for layer in network.layers

@@ -26,11 +26,13 @@ from .cache import (
     generator_fingerprint,
     workload_fingerprint,
 )
+from .disk_cache import DiskEvaluationCache
 from .evaluation import AnnLayerEvaluation, LayerEvaluation
 from .statistics import LayerStatistics
 
 __all__ = [
     "AnnLayerEvaluation",
+    "DiskEvaluationCache",
     "LayerEvaluation",
     "LayerStatistics",
     "WorkloadEvaluationCache",

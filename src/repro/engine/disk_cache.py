@@ -1,0 +1,234 @@
+"""On-disk evaluation-cache tier below the in-process LRU.
+
+Worker processes and repeated CLI runs each start with an empty in-memory
+:class:`~repro.engine.cache.WorkloadEvaluationCache`, so without a shared
+tier every process regenerates the same random tensors.  The
+:class:`DiskEvaluationCache` is that shared tier: a directory of
+fingerprint-addressed ``.npz`` entries, one per ``(workload fingerprint,
+generator fingerprint)`` cache key, holding the generated ``(spikes,
+weights)`` tensor pair plus the post-generation bit-generator state needed
+to fast-forward the caller's generator on a hit.
+
+Design constraints:
+
+* **Bit-identity** -- tensors are stored losslessly (integer ``.npz``
+  arrays) and the generator state round-trips through JSON exactly
+  (arbitrary-precision integers natively, ndarray-valued state fields --
+  e.g. Philox keys -- via a base64 envelope), so a disk hit is
+  indistinguishable from regeneration.
+* **Atomicity** -- entries are written to a temporary file in the cache
+  directory and published with :func:`os.replace`, so a concurrent reader
+  never observes a partial entry.  A corrupt entry (e.g. a torn write from
+  a crashed process) is deleted and treated as a miss; the workload is
+  simply regenerated.
+* **Bounded size** -- an optional ``max_bytes`` budget evicts the
+  least-recently-used entries (entry files carry their last-hit time as
+  mtime).
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["DiskEvaluationCache"]
+
+_ENTRY_SUFFIX = ".npz"
+_NDARRAY_TAG = "__ndarray__"
+
+
+def _encode_state(value):
+    """JSON-encodable copy of a bit-generator state (ndarrays via base64)."""
+    if isinstance(value, dict):
+        return {key: _encode_state(entry) for key, entry in value.items()}
+    if isinstance(value, np.ndarray):
+        payload = base64.b64encode(np.ascontiguousarray(value).tobytes()).decode("ascii")
+        return {_NDARRAY_TAG: [value.dtype.str, list(value.shape), payload]}
+    if isinstance(value, (list, tuple)):
+        return [_encode_state(entry) for entry in value]
+    if isinstance(value, np.integer):
+        return int(value)
+    return value
+
+
+def _decode_state(value):
+    """Inverse of :func:`_encode_state`."""
+    if isinstance(value, dict):
+        if set(value) == {_NDARRAY_TAG}:
+            dtype, shape, payload = value[_NDARRAY_TAG]
+            raw = np.frombuffer(base64.b64decode(payload), dtype=np.dtype(dtype))
+            return raw.reshape(tuple(shape)).copy()
+        return {key: _decode_state(entry) for key, entry in value.items()}
+    if isinstance(value, list):
+        return [_decode_state(entry) for entry in value]
+    return value
+
+
+class DiskEvaluationCache:
+    """Keyed on-disk store of generated workload tensors.
+
+    Parameters
+    ----------
+    directory:
+        Where entries live; created if missing.  Safe to share between
+        concurrent processes (writes are atomic, readers tolerate and drop
+        torn entries).
+    max_bytes:
+        Optional budget for the sum of entry-file sizes.  When a store
+        pushes the directory over the budget, the least-recently-used
+        entries are deleted (the most recent entry is always kept, so a
+        budget smaller than one entry still caches the current workload).
+    """
+
+    def __init__(self, directory: str | os.PathLike, max_bytes: int | None = None):
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive when given")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.corrupt_dropped = 0
+
+    # ------------------------------------------------------------------ #
+    # Addressing
+    # ------------------------------------------------------------------ #
+    def entry_path(self, key) -> Path:
+        """File holding the entry for ``key`` (exists only after a store).
+
+        Keys are the same hashable fingerprint tuples the in-memory LRU
+        uses; ``repr`` of those tuples is deterministic (ints, floats,
+        bools, strings and byte strings only), so its SHA-256 is a stable
+        address across processes and runs.
+        """
+        digest = hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+        return self.directory / (digest + _ENTRY_SUFFIX)
+
+    # ------------------------------------------------------------------ #
+    # Lookup / spill
+    # ------------------------------------------------------------------ #
+    def load(self, key) -> tuple[np.ndarray, np.ndarray, dict] | None:
+        """Return ``(spikes, weights, state_after)`` or ``None`` on a miss.
+
+        A corrupt or partially written entry counts as a miss: the file is
+        deleted so the caller's regeneration can re-publish a clean one.
+        """
+        path = self.entry_path(key)
+        try:
+            with np.load(path) as data:
+                spikes = data["spikes"]
+                weights = data["weights"]
+                state = _decode_state(json.loads(bytes(data["state"]).decode("utf-8")))
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Torn write / truncated zip / bad JSON: drop the entry.
+            self.corrupt_dropped += 1
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        try:
+            os.utime(path)  # record recency for the byte-budget eviction
+        except OSError:
+            pass
+        return spikes, weights, state
+
+    def store(self, key, spikes: np.ndarray, weights: np.ndarray, state_after: dict) -> None:
+        """Atomically publish an entry for ``key`` (no-op if present)."""
+        path = self.entry_path(key)
+        if path.exists():
+            return
+        state_payload = json.dumps(_encode_state(state_after)).encode("utf-8")
+        fd, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(
+                    handle,
+                    spikes=np.asarray(spikes),
+                    weights=np.asarray(weights),
+                    state=np.frombuffer(state_payload, dtype=np.uint8),
+                )
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+        if self.max_bytes is not None:
+            self._evict_over_budget(keep=path)
+
+    # ------------------------------------------------------------------ #
+    # Budget / inspection
+    # ------------------------------------------------------------------ #
+    def _entry_files(self) -> list[Path]:
+        return [p for p in self.directory.glob("*" + _ENTRY_SUFFIX) if p.is_file()]
+
+    def _evict_over_budget(self, keep: Path) -> None:
+        entries = []
+        for path in self._entry_files():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime_ns, stat.st_size, path))
+        entries.sort()  # oldest first
+        total = sum(size for _, size, _ in entries)
+        for _, size, path in entries:
+            if total <= self.max_bytes:
+                break
+            if path == keep:
+                continue  # never evict the entry just stored
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+
+    def total_bytes(self) -> int:
+        """Sum of entry-file sizes currently on disk."""
+        total = 0
+        for path in self._entry_files():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def __len__(self) -> int:
+        return len(self._entry_files())
+
+    def clear(self) -> None:
+        """Delete every entry and reset the counters."""
+        for path in self._entry_files():
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.corrupt_dropped = 0
+
+    def cache_info(self) -> dict[str, int]:
+        """Current ``{hits, misses, stores, corrupt_dropped, entries}``."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt_dropped": self.corrupt_dropped,
+            "entries": len(self),
+        }

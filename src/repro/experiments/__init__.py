@@ -22,6 +22,17 @@ Every ``run_*`` function accepts a ``scale`` parameter (where applicable)
 that proportionally shrinks the workload dimensions while preserving the
 sparsity profiles, so the whole suite can be exercised quickly by the tests
 and benchmarks; ``scale=1.0`` reproduces the paper-sized workloads.
+
+Each experiment is also a registered *scenario*: importing this package
+populates the :mod:`repro.runner` registry, after which any figure or table
+runs through one uniform entry point::
+
+    from repro.experiments import list_scenarios, run_scenario
+    run_scenario("fig13-traffic", scale=0.25, workers=2)
+
+Sweep-shaped scenarios accept ``workers`` (process-pool size; results are
+bit-identical to serial) and ``cache_dir`` (shared on-disk evaluation-cache
+tier) in addition to their declared parameters.
 """
 
 from .ablations import format_fig5, format_fig16, format_fig17, run_fig5, run_fig16, run_fig17
@@ -41,7 +52,16 @@ from .performance import (
     run_fig13,
     run_fig14,
 )
-from .sweeps import DEFAULT_LAYERS, DEFAULT_NETWORKS, run_layers, run_networks, snn_accelerators
+from ..runner import get_scenario, list_scenarios, run_scenario
+from .sweeps import (
+    DEFAULT_LAYERS,
+    DEFAULT_NETWORKS,
+    layer_sweep_plan,
+    network_sweep_plan,
+    run_layers,
+    run_networks,
+    snn_accelerators,
+)
 from .tables import (
     format_table1,
     format_table2,
@@ -66,6 +86,10 @@ __all__ = [
     "format_table1",
     "format_table2",
     "format_table4",
+    "get_scenario",
+    "layer_sweep_plan",
+    "list_scenarios",
+    "network_sweep_plan",
     "run_fig5",
     "run_fig11",
     "run_fig12",
@@ -77,6 +101,7 @@ __all__ = [
     "run_fig19",
     "run_layers",
     "run_networks",
+    "run_scenario",
     "run_table1",
     "run_table2",
     "run_table4",

@@ -8,6 +8,10 @@
   with and without the fine-tuned preprocessing.
 * Figure 17 -- LoAS scalability across weight sparsity levels, timesteps and
   layer size (V-L8 vs the SpikeTransformer hidden feed-forward layer).
+
+Figures 5 and 17 are declarative sweep scenarios (``fig5-psum-traffic``,
+``fig17-scalability``) executed by the orchestrator; Figure 16 is a bespoke
+scenario (it measures the workload *generator*, not an accelerator).
 """
 
 from __future__ import annotations
@@ -15,12 +19,21 @@ from __future__ import annotations
 import numpy as np
 
 from ..arch.area import tppe_scaling
-from ..baselines import GoSPASNN
-from ..core import LoASConfig, LoASSimulator
 from ..metrics.report import format_series, format_table
-from ..snn.network import LayerShape
-from ..snn.workloads import LayerWorkload, SparsityProfile, TABLE2_LAYER_PROFILES, get_layer_workload
-from ..sparse.matrix import random_spike_tensor, silent_neuron_fraction, mask_low_activity_neurons
+from ..runner import (
+    Scenario,
+    SimulatorSpec,
+    SweepPlan,
+    WorkloadSpec,
+    register_scenario,
+    run_scenario,
+)
+from ..snn.workloads import TABLE2_LAYER_PROFILES, get_layer_workload
+from ..sparse.matrix import (
+    mask_low_activity_neurons,
+    random_spike_tensor,
+    silent_neuron_fraction,
+)
 
 __all__ = [
     "run_fig5",
@@ -32,26 +45,59 @@ __all__ = [
 ]
 
 _FIG5_LAYERS = ("A-L4", "V-L8", "R-L19")
+_FIG5_TIMESTEPS = (1, 4)
+
+
+def fig5_plan(
+    layers: tuple[str, ...] = _FIG5_LAYERS,
+    scale: float = 1.0,
+    seed: int = 1,
+    timesteps: tuple[int, ...] = _FIG5_TIMESTEPS,
+) -> SweepPlan:
+    """GoSPA-SNN over every (layer, T) pair -- the Figure 5 sweep as data."""
+    gospa = SimulatorSpec("GoSPA-SNN")
+    workloads = tuple(
+        WorkloadSpec("layer", name, scale=scale, timesteps=t)
+        for name in layers
+        for t in timesteps
+    )
+    return SweepPlan.product("fig5", workloads, (gospa,), seeds=(seed,))
+
+
+def _shape_fig5(results, **_) -> dict[str, dict[str, float]]:
+    output: dict[str, dict[str, float]] = {}
+    for cell, result in results:
+        per_t = output.setdefault(cell.workload.name, {})
+        per_t[f"T={cell.workload.timesteps}"] = result.dram.get("psum") / 1e3
+    return output
+
+
+register_scenario(
+    Scenario(
+        name="fig5-psum-traffic",
+        description="Figure 5: GoSPA-SNN off-chip psum traffic at T=1 vs T=4",
+        build=fig5_plan,
+        shape=_shape_fig5,
+        defaults=(
+            ("layers", _FIG5_LAYERS),
+            ("scale", 1.0),
+            ("seed", 1),
+            ("timesteps", _FIG5_TIMESTEPS),
+        ),
+    )
+)
 
 
 def run_fig5(
     layers: tuple[str, ...] = _FIG5_LAYERS,
     scale: float = 1.0,
     seed: int = 1,
+    workers: int | None = None,
 ) -> dict[str, dict[str, float]]:
     """Off-chip psum traffic (KB) of GoSPA-SNN at T = 1 and T = 4 (Figure 5)."""
-    results: dict[str, dict[str, float]] = {}
-    for name in layers:
-        per_t: dict[str, float] = {}
-        for timesteps in (1, 4):
-            workload = get_layer_workload(name, timesteps=timesteps)
-            if scale != 1.0:
-                workload = workload.scaled(scale)
-            simulator = GoSPASNN()
-            result = simulator.simulate_workload(workload, rng=np.random.default_rng(seed))
-            per_t[f"T={timesteps}"] = result.dram.get("psum") / 1e3
-        results[name] = per_t
-    return results
+    return run_scenario(
+        "fig5-psum-traffic", workers=workers, layers=layers, scale=scale, seed=seed
+    )
 
 
 def format_fig5(scale: float = 0.5, seed: int = 1) -> str:
@@ -109,9 +155,115 @@ def run_fig16(
     }
 
 
+register_scenario(
+    Scenario(
+        name="fig16-temporal",
+        description="Figure 16: TPPE scaling + silent-neuron ratio vs timesteps",
+        run=run_fig16,
+        defaults=(("timesteps", (4, 8, 16)), ("scale", 0.25), ("seed", 0)),
+    )
+)
+
+
 def format_fig16(scale: float = 0.25, seed: int = 0) -> str:
     """ASCII rendition of Figure 16."""
     return format_series(run_fig16(scale=scale, seed=seed), title="Figure 16: temporal scalability")
+
+
+def fig17_plan(
+    scale: float = 0.25,
+    seed: int = 1,
+    timesteps: tuple[int, ...] = (4, 8),
+    weight_sparsities: tuple[float, ...] = (0.982, 0.684, 0.25),
+) -> SweepPlan:
+    """The three Figure 17 sub-sweeps as one tagged plan."""
+    loas = SimulatorSpec("LoAS")
+    weight_cells = SweepPlan.product(
+        "fig17",
+        tuple(
+            WorkloadSpec(
+                "layer", "V-L8", scale=scale, profile_overrides=(("weight_sparsity", level),)
+            )
+            for level in weight_sparsities
+        ),
+        (loas,),
+        seeds=(seed,),
+        tag="weight_sparsity",
+    )
+    timestep_cells = SweepPlan.product(
+        "fig17",
+        tuple(WorkloadSpec("layer", "V-L8", scale=scale, timesteps=t) for t in timesteps),
+        tuple(SimulatorSpec("LoAS", config_timesteps=t) for t in timesteps),
+        seeds=(seed,),
+        tag="timesteps",
+    )
+    # The timestep sweep pairs workload T with a matching hardware config --
+    # a diagonal, not a product; keep only the matching (workload, config)
+    # cells of the cartesian plan.
+    timestep_cells = SweepPlan(
+        "fig17",
+        tuple(
+            cell
+            for cell in timestep_cells.cells
+            if cell.workload.timesteps == cell.simulator.config_timesteps
+        ),
+    )
+    size_cells = SweepPlan.product(
+        "fig17",
+        tuple(WorkloadSpec("layer", name, scale=scale) for name in ("V-L8", "T-HFF")),
+        (loas,),
+        seeds=(seed,),
+        tag="layer_size",
+    )
+    return weight_cells + timestep_cells + size_cells
+
+
+def _shape_fig17(results, **_) -> dict[str, dict[str, float]]:
+    output: dict[str, dict[str, float]] = {
+        "weight_sparsity": {},
+        "timesteps": {},
+        "layer_size": {},
+    }
+
+    reference_cycles = None
+    for cell, result in results.tagged("weight_sparsity"):
+        if reference_cycles is None:
+            reference_cycles = result.cycles
+        level = dict(cell.workload.profile_overrides)["weight_sparsity"]
+        output["weight_sparsity"][f"B={level:.1%}"] = reference_cycles / result.cycles
+
+    reference_cycles = None
+    for cell, result in results.tagged("timesteps"):
+        if reference_cycles is None:
+            reference_cycles = result.cycles
+        # Relative performance (inverse latency); the paper reports only a
+        # ~14 % loss when the number of timesteps doubles.
+        output["timesteps"][f"T={cell.workload.timesteps}"] = reference_cycles / result.cycles
+
+    for cell, result in results.tagged("layer_size"):
+        throughput = (
+            result.ops.get("true_accumulations", 0.0) / result.cycles if result.cycles else 0.0
+        )
+        output["layer_size"][cell.workload.name] = throughput
+    reference = output["layer_size"]["V-L8"] or 1.0
+    output["layer_size"] = {k: v / reference for k, v in output["layer_size"].items()}
+    return output
+
+
+register_scenario(
+    Scenario(
+        name="fig17-scalability",
+        description="Figure 17: LoAS sensitivity to weight sparsity, T and layer size",
+        build=fig17_plan,
+        shape=_shape_fig17,
+        defaults=(
+            ("scale", 0.25),
+            ("seed", 1),
+            ("timesteps", (4, 8)),
+            ("weight_sparsities", (0.982, 0.684, 0.25)),
+        ),
+    )
+)
 
 
 def run_fig17(
@@ -119,48 +271,17 @@ def run_fig17(
     seed: int = 1,
     timesteps: tuple[int, ...] = (4, 8),
     weight_sparsities: tuple[float, ...] = (0.982, 0.684, 0.25),
+    workers: int | None = None,
 ) -> dict[str, dict[str, float]]:
     """LoAS scalability sweeps (Figure 17): weight sparsity, timesteps, layer size."""
-    results: dict[str, dict[str, float]] = {"weight_sparsity": {}, "timesteps": {}, "layer_size": {}}
-    base = get_layer_workload("V-L8").scaled(scale)
-
-    # Sweep 1: weight sparsity (High / Medium / Low).
-    reference_cycles = None
-    for sparsity_level in weight_sparsities:
-        profile = SparsityProfile(
-            base.profile.spike_sparsity,
-            base.profile.silent_fraction,
-            base.profile.silent_fraction_finetuned,
-            sparsity_level,
-        )
-        workload = LayerWorkload(base.shape, profile)
-        result = LoASSimulator().simulate_workload(workload, rng=np.random.default_rng(seed))
-        if reference_cycles is None:
-            reference_cycles = result.cycles
-        results["weight_sparsity"][f"B={sparsity_level:.1%}"] = reference_cycles / result.cycles
-
-    # Sweep 2: timesteps.
-    reference_cycles = None
-    for t in timesteps:
-        shape = LayerShape(base.shape.name, base.shape.m, base.shape.k, base.shape.n, t)
-        workload = LayerWorkload(shape, base.profile)
-        config = LoASConfig().with_timesteps(t)
-        result = LoASSimulator(config).simulate_workload(workload, rng=np.random.default_rng(seed))
-        if reference_cycles is None:
-            reference_cycles = result.cycles
-        # Relative performance (inverse latency); the paper reports only a
-        # ~14 % loss when the number of timesteps doubles.
-        results["timesteps"][f"T={t}"] = reference_cycles / result.cycles
-
-    # Sweep 3: layer size (V-L8 vs the SpikeTransformer hidden FF layer).
-    for layer_name in ("V-L8", "T-HFF"):
-        workload = get_layer_workload(layer_name).scaled(scale)
-        result = LoASSimulator().simulate_workload(workload, rng=np.random.default_rng(seed))
-        throughput = result.ops.get("true_accumulations", 0.0) / result.cycles if result.cycles else 0.0
-        results["layer_size"][layer_name] = throughput
-    reference = results["layer_size"]["V-L8"] or 1.0
-    results["layer_size"] = {k: v / reference for k, v in results["layer_size"].items()}
-    return results
+    return run_scenario(
+        "fig17-scalability",
+        workers=workers,
+        scale=scale,
+        seed=seed,
+        timesteps=timesteps,
+        weight_sparsities=weight_sparsities,
+    )
 
 
 def format_fig17(scale: float = 0.25, seed: int = 1) -> str:

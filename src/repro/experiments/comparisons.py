@@ -6,23 +6,29 @@
   the same workload on SparTen and Gamma (energy and memory traffic).
 * Figure 19 -- LoAS on the dual-sparse workload versus the dense SNN
   accelerators PTB and Stellar.
+
+Figure 19 is a declarative sweep scenario; Figure 18 batches its ANN
+baselines through :func:`repro.runner.run_ann_network` (one shared
+evaluation per layer) and drives the LoAS side through the orchestrator;
+Figure 11 is a bespoke (training) scenario.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..baselines import (
-    GammaANN,
-    PTBSimulator,
-    SparTenANN,
-    StellarSimulator,
-    ann_layer_tensors,
-)
-from ..core import LoASSimulator
-from ..engine import AnnLayerEvaluation
+from ..baselines import GammaANN, SparTenANN
 from ..metrics.report import format_series, format_table
-from ..metrics.results import aggregate_results
+from ..runner import (
+    Scenario,
+    SimulatorSpec,
+    SweepPlan,
+    SweepRunner,
+    WorkloadSpec,
+    register_scenario,
+    run_ann_network,
+    run_scenario,
+)
 from ..snn.preprocessing import finetuned_preprocessing_experiment
 from ..snn.training import (
     SpikingMLP,
@@ -30,8 +36,7 @@ from ..snn.training import (
     make_synthetic_classification,
     train,
 )
-from ..snn.workloads import get_network_workload
-from .sweeps import scaled_network
+from .sweeps import LOAS_FINETUNED, scaled_network
 
 __all__ = [
     "run_fig11",
@@ -83,6 +88,16 @@ def run_fig11(
     return result
 
 
+register_scenario(
+    Scenario(
+        name="fig11-preprocessing",
+        description="Figure 11: fine-tuned preprocessing accuracy trajectory",
+        run=run_fig11,
+        defaults=(("seed", 0),),
+    )
+)
+
+
 def format_fig11(seed: int = 0) -> str:
     """ASCII rendition of Figure 11."""
     data = run_fig11(seed=seed)
@@ -94,32 +109,23 @@ def run_fig18(
     network: str = "vgg16",
     scale: float = 1.0,
     seed: int = 1,
+    workers: int | None = None,
+    cache_dir=None,
 ) -> dict[str, dict[str, float]]:
     """Dual-sparse SNN (LoAS) versus dual-sparse ANN (SparTen / Gamma), Figure 18."""
     snn_network = scaled_network(network, scale)
-    loas = LoASSimulator().simulate_network(
-        snn_network, rng=np.random.default_rng(seed), finetuned=True, preprocess=True
+    plan = SweepPlan.product(
+        "fig18-loas",
+        (WorkloadSpec("network", network, scale=scale),),
+        (LOAS_FINETUNED,),
+        seeds=(seed,),
     )
+    loas = next(iter(SweepRunner(workers=workers, cache_dir=cache_dir).run(plan)))[1]
 
     # One shared ANN evaluation per layer: both baselines consume the same
     # masks / matches / ReLU outputs (each simulator previously regenerated
     # identical tensors from an equal seed).
-    rng = np.random.default_rng(seed)
-    evaluations = [
-        (layer.name, AnnLayerEvaluation(*ann_layer_tensors(layer, rng=rng)))
-        for layer in snn_network.layers
-    ]
-    ann_results = {}
-    for simulator in (SparTenANN(), GammaANN()):
-        layer_results = [
-            simulator.simulate_layer(
-                evaluation.activations, evaluation.weights, name=name, evaluation=evaluation
-            )
-            for name, evaluation in evaluations
-        ]
-        ann_results[simulator.name] = aggregate_results(
-            layer_results, accelerator=simulator.name, workload=network
-        )
+    ann_results = run_ann_network((SparTenANN(), GammaANN()), snn_network, seed)
 
     everything = {"LoAS (SNN)": loas, **{f"{k} (ANN)": v for k, v in ann_results.items()}}
     reference_energy = loas.energy_pj or 1.0
@@ -136,23 +142,44 @@ def run_fig18(
     }
 
 
+register_scenario(
+    Scenario(
+        name="fig18-snn-vs-ann",
+        description="Figure 18: dual-sparse SNN (LoAS) vs dual-sparse ANN baselines",
+        run=run_fig18,
+        defaults=(
+            ("network", "vgg16"),
+            ("scale", 1.0),
+            ("seed", 1),
+            ("workers", None),
+            ("cache_dir", None),
+        ),
+    )
+)
+
+
 def format_fig18(scale: float = 0.25, seed: int = 1) -> str:
     """ASCII rendition of Figure 18."""
     return format_series(run_fig18(scale=scale, seed=seed), title="Figure 18: dual-sparse SNN vs dual-sparse ANN (normalised to LoAS)")
 
 
-def run_fig19(
+def fig19_plan(
     network: str = "vgg16",
     scale: float = 1.0,
     seed: int = 1,
-) -> dict[str, dict[str, float]]:
-    """LoAS versus the dense SNN accelerators PTB and Stellar (Figure 19)."""
-    snn_network = scaled_network(network, scale)
-    rng_seed = seed
-    loas = LoASSimulator().simulate_network(snn_network, rng=np.random.default_rng(rng_seed))
-    ptb = PTBSimulator().simulate_network(snn_network, rng=np.random.default_rng(rng_seed))
-    stellar = StellarSimulator().simulate_network(snn_network, rng=np.random.default_rng(rng_seed))
-    results = {"LoAS": loas, "PTB": ptb, "Stellar": stellar}
+) -> SweepPlan:
+    """LoAS and the dense SNN accelerators over one network -- as data."""
+    return SweepPlan.product(
+        "fig19",
+        (WorkloadSpec("network", network, scale=scale),),
+        (SimulatorSpec("LoAS"), SimulatorSpec("PTB"), SimulatorSpec("Stellar")),
+        seeds=(seed,),
+    )
+
+
+def _shape_fig19(results, network: str = "vgg16", **_) -> dict[str, dict[str, float]]:
+    per_accel = results.nested()[network]
+    loas, ptb = per_accel["LoAS"], per_accel["PTB"]
     return {
         name: {
             "speedup_vs_ptb": ptb.cycles / result.cycles,
@@ -160,8 +187,31 @@ def run_fig19(
             "normalized_dram": result.dram_bytes / loas.dram_bytes,
             "normalized_sram": result.sram_bytes / loas.sram_bytes,
         }
-        for name, result in results.items()
+        for name, result in per_accel.items()
     }
+
+
+register_scenario(
+    Scenario(
+        name="fig19-dense-baselines",
+        description="Figure 19: LoAS vs the dense SNN accelerators PTB and Stellar",
+        build=fig19_plan,
+        shape=_shape_fig19,
+        defaults=(("network", "vgg16"), ("scale", 1.0), ("seed", 1)),
+    )
+)
+
+
+def run_fig19(
+    network: str = "vgg16",
+    scale: float = 1.0,
+    seed: int = 1,
+    workers: int | None = None,
+) -> dict[str, dict[str, float]]:
+    """LoAS versus the dense SNN accelerators PTB and Stellar (Figure 19)."""
+    return run_scenario(
+        "fig19-dense-baselines", workers=workers, network=network, scale=scale, seed=seed
+    )
 
 
 def format_fig19(scale: float = 0.25, seed: int = 1) -> str:

@@ -6,12 +6,23 @@ three full SNN workloads, everything normalised to SparTen-SNN.  Figure 13
 reports the corresponding off-chip and on-chip traffic, and Figure 14 breaks
 the off-chip traffic of the three representative layers into input / weight /
 psum / other components and adds the normalised SRAM miss rate.
+
+All three figures are thin shapers over the declarative network / layer
+sweeps of :mod:`repro.experiments.sweeps`; each is also a registered
+scenario (``fig12-overall``, ``fig13-traffic``, ``fig14-breakdown``) runnable
+through :func:`repro.runner.run_scenario`.
 """
 
 from __future__ import annotations
 
-from ..metrics.report import format_series, format_table
-from .sweeps import DEFAULT_LAYERS, DEFAULT_NETWORKS, run_layers, run_networks
+from ..metrics.report import format_series, format_sweep
+from ..runner import Scenario, register_scenario, run_scenario
+from .sweeps import (
+    DEFAULT_LAYERS,
+    DEFAULT_NETWORKS,
+    layer_sweep_plan,
+    network_sweep_plan,
+)
 
 __all__ = [
     "run_fig12",
@@ -25,15 +36,10 @@ __all__ = [
 _REFERENCE = "SparTen-SNN"
 
 
-def run_fig12(
-    networks: tuple[str, ...] = DEFAULT_NETWORKS,
-    scale: float = 1.0,
-    seed: int = 1,
-) -> dict[str, dict[str, dict[str, float]]]:
-    """Speedup and energy efficiency normalised to SparTen-SNN (Figure 12)."""
-    raw = run_networks(networks=networks, scale=scale, seed=seed)
+def _shape_fig12(results, **_) -> dict[str, dict[str, dict[str, float]]]:
+    """Speedup and energy efficiency normalised to SparTen-SNN."""
     output: dict[str, dict[str, dict[str, float]]] = {}
-    for network, per_accel in raw.items():
+    for network, per_accel in results.nested().items():
         reference = per_accel[_REFERENCE]
         output[network] = {
             accel: {
@@ -45,6 +51,85 @@ def run_fig12(
             for accel, result in per_accel.items()
         }
     return output
+
+
+def _shape_fig13(results, **_) -> dict[str, dict[str, dict[str, float]]]:
+    """Off-chip (KB) and on-chip (MB) traffic per accelerator."""
+    return {
+        network: {
+            accel: {
+                "offchip_kb": result.dram_bytes / 1e3,
+                "onchip_mb": result.sram_bytes / 1e6,
+            }
+            for accel, result in per_accel.items()
+        }
+        for network, per_accel in results.nested().items()
+    }
+
+
+def _shape_fig14(results, **_) -> dict[str, dict[str, dict[str, float]]]:
+    """Off-chip traffic breakdown and SRAM miss rate, normalised to LoAS."""
+    output: dict[str, dict[str, dict[str, float]]] = {}
+    for layer, per_accel in results.nested().items():
+        loas = per_accel["LoAS"]
+        loas_total = loas.dram_bytes or 1.0
+        loas_miss = loas.sram_miss_rate or 1e-9
+        output[layer] = {}
+        for accel, result in per_accel.items():
+            breakdown = result.dram.as_dict()
+            output[layer][accel] = {
+                "weight": breakdown.get("weight", 0.0) / loas_total,
+                "input": breakdown.get("input", 0.0) / loas_total,
+                "psum": breakdown.get("psum", 0.0) / loas_total,
+                "format": breakdown.get("format", 0.0) / loas_total,
+                "output": breakdown.get("output", 0.0) / loas_total,
+                "total": result.dram_bytes / loas_total,
+                "normalized_miss_rate": result.sram_miss_rate / loas_miss,
+            }
+    return output
+
+
+register_scenario(
+    Scenario(
+        name="fig12-overall",
+        description="Figure 12: speedup / energy efficiency vs SparTen-SNN",
+        build=network_sweep_plan,
+        shape=_shape_fig12,
+        defaults=(("networks", DEFAULT_NETWORKS), ("scale", 1.0), ("seed", 1)),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="fig13-traffic",
+        description="Figure 13: off-chip / on-chip traffic per accelerator",
+        build=network_sweep_plan,
+        shape=_shape_fig13,
+        defaults=(("networks", DEFAULT_NETWORKS), ("scale", 1.0), ("seed", 1)),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="fig14-breakdown",
+        description="Figure 14: off-chip traffic breakdown + SRAM miss rate",
+        build=layer_sweep_plan,
+        shape=_shape_fig14,
+        defaults=(("layers", DEFAULT_LAYERS), ("scale", 1.0), ("seed", 1)),
+    )
+)
+
+
+def run_fig12(
+    networks: tuple[str, ...] = DEFAULT_NETWORKS,
+    scale: float = 1.0,
+    seed: int = 1,
+    workers: int | None = None,
+) -> dict[str, dict[str, dict[str, float]]]:
+    """Speedup and energy efficiency normalised to SparTen-SNN (Figure 12)."""
+    return run_scenario(
+        "fig12-overall", workers=workers, networks=networks, scale=scale, seed=seed
+    )
 
 
 def format_fig12(scale: float = 0.25, seed: int = 1) -> str:
@@ -69,36 +154,20 @@ def run_fig13(
     networks: tuple[str, ...] = DEFAULT_NETWORKS,
     scale: float = 1.0,
     seed: int = 1,
+    workers: int | None = None,
 ) -> dict[str, dict[str, dict[str, float]]]:
     """Off-chip (KB) and on-chip (MB) traffic per accelerator (Figure 13)."""
-    raw = run_networks(networks=networks, scale=scale, seed=seed)
-    return {
-        network: {
-            accel: {
-                "offchip_kb": result.dram_bytes / 1e3,
-                "onchip_mb": result.sram_bytes / 1e6,
-            }
-            for accel, result in per_accel.items()
-        }
-        for network, per_accel in raw.items()
-    }
+    return run_scenario(
+        "fig13-traffic", workers=workers, networks=networks, scale=scale, seed=seed
+    )
 
 
 def format_fig13(scale: float = 0.25, seed: int = 1) -> str:
     """ASCII rendition of Figure 13."""
-    data = run_fig13(scale=scale, seed=seed)
-    offchip = {
-        network: {accel: stats["offchip_kb"] for accel, stats in per.items()}
-        for network, per in data.items()
-    }
-    onchip = {
-        network: {accel: stats["onchip_mb"] for accel, stats in per.items()}
-        for network, per in data.items()
-    }
-    return (
-        format_series(offchip, title="Figure 13 (top): off-chip traffic (KB)")
-        + "\n\n"
-        + format_series(onchip, title="Figure 13 (bottom): on-chip traffic (MB)")
+    return format_sweep(
+        run_fig13(scale=scale, seed=seed),
+        columns=[("Off-chip (KB)", "offchip_kb"), ("On-chip (MB)", "onchip_mb")],
+        title="Figure 13: memory traffic",
     )
 
 
@@ -106,55 +175,29 @@ def run_fig14(
     layers: tuple[str, ...] = DEFAULT_LAYERS,
     scale: float = 1.0,
     seed: int = 1,
+    workers: int | None = None,
 ) -> dict[str, dict[str, dict[str, float]]]:
     """Off-chip traffic breakdown and SRAM miss rate per layer (Figure 14).
 
     Everything is normalised to LoAS, as in the paper.
     """
-    raw = run_layers(layers=layers, scale=scale, seed=seed)
-    output: dict[str, dict[str, dict[str, float]]] = {}
-    for layer, per_accel in raw.items():
-        loas = per_accel["LoAS"]
-        loas_total = loas.dram_bytes or 1.0
-        loas_miss = loas.sram_miss_rate or 1e-9
-        output[layer] = {}
-        for accel, result in per_accel.items():
-            breakdown = result.dram.as_dict()
-            output[layer][accel] = {
-                "weight": breakdown.get("weight", 0.0) / loas_total,
-                "input": breakdown.get("input", 0.0) / loas_total,
-                "psum": breakdown.get("psum", 0.0) / loas_total,
-                "format": breakdown.get("format", 0.0) / loas_total,
-                "output": breakdown.get("output", 0.0) / loas_total,
-                "total": result.dram_bytes / loas_total,
-                "normalized_miss_rate": result.sram_miss_rate / loas_miss,
-            }
-    return output
+    return run_scenario(
+        "fig14-breakdown", workers=workers, layers=layers, scale=scale, seed=seed
+    )
 
 
 def format_fig14(scale: float = 0.5, seed: int = 1) -> str:
     """ASCII rendition of Figure 14."""
-    data = run_fig14(scale=scale, seed=seed)
-    blocks = []
-    for layer, per_accel in data.items():
-        rows = [
-            [
-                accel,
-                stats["input"],
-                stats["weight"],
-                stats["psum"],
-                stats["format"],
-                stats["output"],
-                stats["total"],
-                stats["normalized_miss_rate"],
-            ]
-            for accel, stats in per_accel.items()
-        ]
-        blocks.append(
-            format_table(
-                ["Accelerator", "Input", "Weight", "Psum", "Format", "Output", "Total", "Norm. miss"],
-                rows,
-                title=f"Figure 14: off-chip traffic breakdown, normalised to LoAS ({layer})",
-            )
-        )
-    return "\n\n".join(blocks)
+    return format_sweep(
+        run_fig14(scale=scale, seed=seed),
+        columns=[
+            ("Input", "input"),
+            ("Weight", "weight"),
+            ("Psum", "psum"),
+            ("Format", "format"),
+            ("Output", "output"),
+            ("Total", "total"),
+            ("Norm. miss", "normalized_miss_rate"),
+        ],
+        title="Figure 14: off-chip traffic breakdown, normalised to LoAS",
+    )

@@ -1,27 +1,37 @@
-"""Shared sweep helpers for the experiment modules.
+"""Shared sweep declarations for the experiment modules.
 
 Every experiment module exposes a ``run(...)`` function returning a plain
-dictionary of results plus a ``format_result`` helper producing the ASCII
-table printed by the benchmark harness.  The helpers here implement the
-common pattern: run a set of accelerators over a set of workloads and gather
-the :class:`~repro.metrics.results.SimulationResult` objects.
+dictionary of results plus a ``format_*`` helper producing the ASCII table
+printed by the benchmark harness.  The sweeps themselves are no longer
+hand-rolled loops: this module declares them as :class:`SweepPlan` data and
+delegates execution to the :class:`~repro.runner.SweepRunner`, which batches
+each network walk layer-major (one evaluation per layer drives every
+simulator) and can spread independent cells over a worker pool
+(``workers=2`` and up).
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from ..baselines import GammaSNN, GoSPASNN, SparTenSNN
-from ..core import LoASSimulator
-from ..metrics.results import SimulationResult
-from ..snn.workloads import NetworkWorkload, get_layer_workload, get_network_workload
+from ..runner import (
+    Scenario,
+    SimulatorSpec,
+    SweepPlan,
+    SweepRunner,
+    WorkloadSpec,
+    register_scenario,
+)
+from ..snn.workloads import NetworkWorkload, get_network_workload
 
 __all__ = [
     "snn_accelerators",
+    "network_sweep_plan",
+    "layer_sweep_plan",
     "run_networks",
     "run_layers",
     "DEFAULT_NETWORKS",
     "DEFAULT_LAYERS",
+    "SNN_SIMULATORS",
+    "LOAS_FINETUNED",
 ]
 
 #: Full-network workloads evaluated in Figures 12 and 13.
@@ -30,15 +40,51 @@ DEFAULT_NETWORKS = ("alexnet", "vgg16", "resnet19")
 #: Representative layers evaluated in Figure 14.
 DEFAULT_LAYERS = ("A-L4", "V-L8", "R-L19")
 
+#: The dual-sparse SNN accelerators compared throughout the evaluation.
+SNN_SIMULATORS = (
+    SimulatorSpec("SparTen-SNN"),
+    SimulatorSpec("GoSPA-SNN"),
+    SimulatorSpec("Gamma-SNN"),
+    SimulatorSpec("LoAS"),
+)
+
+#: LoAS with the fine-tuned preprocessing (the "LoAS-FT" series).
+LOAS_FINETUNED = SimulatorSpec(
+    "LoAS", label="LoAS-FT", finetuned=True, kwargs=(("preprocess", True),)
+)
+
 
 def snn_accelerators(config=None) -> dict[str, object]:
     """The dual-sparse SNN accelerators compared throughout the evaluation."""
-    return {
-        "SparTen-SNN": SparTenSNN(config),
-        "GoSPA-SNN": GoSPASNN(config),
-        "Gamma-SNN": GammaSNN(config),
-        "LoAS": LoASSimulator(config),
-    }
+    return {spec.label: spec.build(config) for spec in SNN_SIMULATORS}
+
+
+def network_sweep_plan(
+    networks: tuple[str, ...] = DEFAULT_NETWORKS,
+    scale: float = 1.0,
+    seed: int = 1,
+    include_finetuned: bool = True,
+    config=None,
+) -> SweepPlan:
+    """Declarative Figure 12/13 sweep: every accelerator x every network."""
+    simulators = SNN_SIMULATORS + ((LOAS_FINETUNED,) if include_finetuned else ())
+    workloads = tuple(WorkloadSpec("network", name, scale=scale) for name in networks)
+    return SweepPlan.product(
+        "networks", workloads, simulators, seeds=(seed,), config=config
+    )
+
+
+def layer_sweep_plan(
+    layers: tuple[str, ...] = DEFAULT_LAYERS,
+    scale: float = 1.0,
+    seed: int = 1,
+    config=None,
+) -> SweepPlan:
+    """Declarative Figure 14 sweep: every accelerator x representative layer."""
+    workloads = tuple(WorkloadSpec("layer", name, scale=scale) for name in layers)
+    return SweepPlan.product(
+        "layers", workloads, SNN_SIMULATORS, seeds=(seed,), config=config
+    )
 
 
 def run_networks(
@@ -47,30 +93,21 @@ def run_networks(
     seed: int = 1,
     include_finetuned: bool = True,
     config=None,
-) -> dict[str, dict[str, SimulationResult]]:
+    workers: int | None = None,
+):
     """Simulate every accelerator on every full-network workload.
 
     Returns ``{network: {accelerator: result}}``; when ``include_finetuned``
     is set an extra ``"LoAS-FT"`` entry runs LoAS with the fine-tuned
     preprocessing.  ``scale`` shrinks the layer dimensions proportionally for
-    quick runs (sparsity profiles are preserved).
+    quick runs (sparsity profiles are preserved).  ``workers >= 2`` spreads
+    the per-network cells over a process pool; results are bit-identical to
+    the serial path.
     """
-    results: dict[str, dict[str, SimulationResult]] = {}
-    for name in networks:
-        network = get_network_workload(name)
-        if scale != 1.0:
-            network = network.scaled(scale)
-        per_accelerator: dict[str, SimulationResult] = {}
-        for accel_name, simulator in snn_accelerators(config).items():
-            per_accelerator[accel_name] = simulator.simulate_network(
-                network, rng=np.random.default_rng(seed)
-            )
-        if include_finetuned:
-            per_accelerator["LoAS-FT"] = LoASSimulator(config).simulate_network(
-                network, rng=np.random.default_rng(seed), finetuned=True, preprocess=True
-            )
-        results[name] = per_accelerator
-    return results
+    plan = network_sweep_plan(
+        networks, scale=scale, seed=seed, include_finetuned=include_finetuned, config=config
+    )
+    return SweepRunner(workers=workers).run(plan).nested()
 
 
 def run_layers(
@@ -78,23 +115,46 @@ def run_layers(
     scale: float = 1.0,
     seed: int = 1,
     config=None,
-) -> dict[str, dict[str, SimulationResult]]:
+    workers: int | None = None,
+):
     """Simulate every accelerator on every representative layer workload."""
-    results: dict[str, dict[str, SimulationResult]] = {}
-    for name in layers:
-        workload = get_layer_workload(name)
-        if scale != 1.0:
-            workload = workload.scaled(scale)
-        per_accelerator: dict[str, SimulationResult] = {}
-        for accel_name, simulator in snn_accelerators(config).items():
-            per_accelerator[accel_name] = simulator.simulate_workload(
-                workload, rng=np.random.default_rng(seed)
-            )
-        results[name] = per_accelerator
-    return results
+    plan = layer_sweep_plan(layers, scale=scale, seed=seed, config=config)
+    return SweepRunner(workers=workers).run(plan).nested()
 
 
 def scaled_network(name: str, scale: float) -> NetworkWorkload:
     """Convenience wrapper: a (possibly scaled) full-network workload."""
     network = get_network_workload(name)
     return network.scaled(scale) if scale != 1.0 else network
+
+
+register_scenario(
+    Scenario(
+        name="networks",
+        description="Every dual-sparse SNN accelerator over the Table II networks",
+        build=network_sweep_plan,
+        shape=lambda results, **_: results.nested(),
+        defaults=(
+            ("networks", DEFAULT_NETWORKS),
+            ("scale", 1.0),
+            ("seed", 1),
+            ("include_finetuned", True),
+            ("config", None),
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="layers",
+        description="Every dual-sparse SNN accelerator over the representative layers",
+        build=layer_sweep_plan,
+        shape=lambda results, **_: results.nested(),
+        defaults=(
+            ("layers", DEFAULT_LAYERS),
+            ("scale", 1.0),
+            ("seed", 1),
+            ("config", None),
+        ),
+    )
+)

@@ -13,6 +13,7 @@ import numpy as np
 from ..arch.area import loas_system_cost, system_power_breakdown, tppe_power_breakdown, TPPE_COMPONENTS
 from ..baselines.capabilities import TABLE1_CAPABILITIES
 from ..metrics.report import format_table
+from ..runner import Scenario, register_scenario
 from ..sparse.matrix import silent_neuron_fraction, sparsity
 from ..snn.workloads import (
     TABLE2_LAYER_PROFILES,
@@ -154,3 +155,33 @@ def format_table4() -> str:
         title="Table IV / Figure 15: TPPE breakdown",
     )
     return system + "\n\n" + tppe
+
+
+# The table experiments are static / statistical (no accelerator sweep), so
+# they register as bespoke scenarios: named entry points in the same registry
+# as the figure sweeps, without a SweepPlan behind them.
+register_scenario(
+    Scenario(
+        name="table1-capabilities",
+        description="Table I: accelerator capability matrix",
+        run=run_table1,
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="table2-workloads",
+        description="Table II: generated-workload sparsity vs published numbers",
+        run=run_table2,
+        defaults=(("scale", 0.25), ("seed", 0)),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="table4-area-power",
+        description="Table IV / Figure 15: area and power breakdown",
+        run=run_table4,
+        defaults=(("num_tppes", 16), ("timesteps", 4)),
+    )
+)

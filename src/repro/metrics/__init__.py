@@ -1,6 +1,6 @@
 """Result containers and plain-text reporting for the experiment harness."""
 
-from .report import format_ratio, format_series, format_table, normalise
+from .report import format_ratio, format_series, format_sweep, format_table, normalise
 from .results import SimulationResult, aggregate_results
 
 __all__ = [
@@ -8,6 +8,7 @@ __all__ = [
     "aggregate_results",
     "format_ratio",
     "format_series",
+    "format_sweep",
     "format_table",
     "normalise",
 ]

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping, Sequence
 
-__all__ = ["format_table", "format_series", "normalise", "format_ratio"]
+__all__ = ["format_table", "format_series", "format_sweep", "normalise", "format_ratio"]
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str | None = None) -> str:
@@ -42,6 +42,42 @@ def format_series(series: Mapping[str, Mapping[str, float]], title: str | None =
     for name, values in series.items():
         rows.append([name] + [round(values.get(label, float("nan")), precision) for label in x_labels])
     return format_table(headers, rows, title=title)
+
+
+def format_sweep(
+    data: Mapping[str, Mapping[str, Mapping[str, float]]],
+    columns: Sequence[tuple[str, str]] | None = None,
+    title: str | None = None,
+    row_header: str = "Accelerator",
+) -> str:
+    """Render a sweep result ``{workload: {series: {metric: value}}}``.
+
+    This is the shared formatter for the orchestrated experiment sweeps:
+    one fixed-width table per workload, one row per series (accelerator),
+    one column per metric.  ``columns`` maps display headers to metric keys
+    (``[("Off-chip (KB)", "offchip_kb"), ...]``); when omitted, the metric
+    keys of the first series are used verbatim.  ``title`` is suffixed with
+    the workload name per block.
+    """
+    blocks = []
+    for workload, series in data.items():
+        block_columns = columns
+        if block_columns is None:
+            first = next(iter(series.values()), {})
+            block_columns = [(key, key) for key in first]
+        rows = [
+            [name] + [values.get(key, float("nan")) for _, key in block_columns]
+            for name, values in series.items()
+        ]
+        block_title = f"{title} ({workload})" if title else str(workload)
+        blocks.append(
+            format_table(
+                [row_header] + [header for header, _ in block_columns],
+                rows,
+                title=block_title,
+            )
+        )
+    return "\n\n".join(blocks)
 
 
 def normalise(values: Mapping[str, float], reference: str) -> dict[str, float]:

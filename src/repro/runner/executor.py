@@ -1,0 +1,249 @@
+"""Sweep execution: partitioning, batched evaluation and worker pools.
+
+The :class:`SweepRunner` executes a :class:`~repro.runner.scenario.SweepPlan`
+in three steps:
+
+1. **Partition** -- cells sharing ``(workload, seed)`` form one partition;
+   partitions are independent (each starts its own per-variant generators
+   from the cell seed), so they can run in any order and in any process.
+2. **Batch** -- inside a partition the workload is walked *layer-major*:
+   each layer is evaluated once per fine-tuning variant and that one
+   :class:`~repro.engine.LayerEvaluation` drives every simulator of the
+   partition before the next layer is touched.  Correctness therefore never
+   depends on the LRU holding more than the current layer (a ``maxsize=1``
+   cache still gets full cross-simulator sharing), which bounds peak cache
+   residency on very large networks.
+3. **Execute** -- serially in-process, or across a ``multiprocessing`` pool
+   (``workers >= 2``).  Worker processes attach the shared on-disk
+   evaluation-cache tier when a ``cache_dir`` is given, so they reuse each
+   other's generated tensors across runs instead of regenerating.
+
+Per-variant generators are seeded exactly like the historical serial loops
+(one fresh ``default_rng(seed)`` per simulator walk), and cache keys include
+the generator state, so serial, multi-process and legacy results are
+bit-identical -- asserted by ``tests/test_runner.py``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..baselines import ann_layer_tensors
+from ..engine import AnnLayerEvaluation, DiskEvaluationCache, default_cache
+from ..metrics.results import SimulationResult, aggregate_results
+from ..snn.workloads import NetworkWorkload
+from .scenario import SweepCell, SweepPlan
+
+__all__ = ["SweepResults", "SweepRunner", "run_ann_network"]
+
+
+class SweepResults:
+    """Results of one executed plan, addressable by cell or as nested dicts."""
+
+    def __init__(self, plan: SweepPlan, results: Sequence[SimulationResult]):
+        if len(results) != len(plan.cells):
+            raise ValueError("one result per plan cell expected")
+        self.plan = plan
+        self._ordered: list[tuple[SweepCell, SimulationResult]] = list(
+            zip(plan.cells, results)
+        )
+        self._by_cell = dict(self._ordered)
+
+    def __len__(self) -> int:
+        return len(self._ordered)
+
+    def __iter__(self) -> Iterator[tuple[SweepCell, SimulationResult]]:
+        return iter(self._ordered)
+
+    def __getitem__(self, cell: SweepCell) -> SimulationResult:
+        return self._by_cell[cell]
+
+    def nested(self) -> dict[str, dict[str, SimulationResult]]:
+        """``{workload label: {simulator label: result}}`` in plan order.
+
+        Raises when two cells share the same ``(workload label, simulator
+        label)`` pair (e.g. one layer swept at several timesteps): a nested
+        dict would silently keep only the last result.  Plans like that are
+        addressed per cell (``results[cell]``) or per tag
+        (``results.tagged(...)``) instead.
+        """
+        out: dict[str, dict[str, SimulationResult]] = {}
+        for cell, result in self._ordered:
+            per_workload = out.setdefault(cell.workload.label, {})
+            if cell.simulator.label in per_workload:
+                raise ValueError(
+                    "nested() would collapse duplicate cell (%r, %r); address "
+                    "results by cell or by tag instead"
+                    % (cell.workload.label, cell.simulator.label)
+                )
+            per_workload[cell.simulator.label] = result
+        return out
+
+    def tagged(self, tag: str) -> list[tuple[SweepCell, SimulationResult]]:
+        """The ordered cell results belonging to one sub-sweep tag."""
+        return [(cell, result) for cell, result in self._ordered if cell.tag == tag]
+
+
+def _execute_partition(cells: Sequence[SweepCell], config) -> list[SimulationResult]:
+    """Run one partition: all simulators of one ``(workload, seed)`` group.
+
+    The workload is walked layer-major; each layer is evaluated once per
+    fine-tuning variant (with that variant's own generator, seeded exactly
+    like the historical per-simulator serial walks) and every simulator of
+    the partition consumes the shared evaluation before the next layer.
+    """
+    workload_spec = cells[0].workload
+    seed = cells[0].seed
+    workload = workload_spec.build()
+    simulators = [cell.simulator.build(config) for cell in cells]
+    cache = default_cache()
+    variants = sorted({cell.simulator.finetuned for cell in cells})
+    rngs = {variant: np.random.default_rng(seed) for variant in variants}
+    layers = workload.layers if isinstance(workload, NetworkWorkload) else [workload]
+    per_cell: list[list[SimulationResult]] = [[] for _ in cells]
+    for layer in layers:
+        evaluations = {
+            variant: cache.evaluate(layer, rngs[variant], finetuned=variant)
+            for variant in variants
+        }
+        for index, cell in enumerate(cells):
+            per_cell[index].append(
+                simulators[index].simulate_workload(
+                    layer,
+                    evaluation=evaluations[cell.simulator.finetuned],
+                    **dict(cell.simulator.kwargs),
+                )
+            )
+    if isinstance(workload, NetworkWorkload):
+        return [
+            aggregate_results(results, accelerator=simulators[index].name, workload=workload.name)
+            for index, results in enumerate(per_cell)
+        ]
+    return [results[0] for results in per_cell]
+
+
+def _pool_task(payload) -> list[SimulationResult]:
+    """Worker-process entry point: attach the disk tier, run one partition."""
+    cells, config, cache_dir = payload
+    _ensure_disk_tier(cache_dir)
+    return _execute_partition(cells, config)
+
+
+def _ensure_disk_tier(cache_dir) -> None:
+    """Idempotently attach the shared disk tier to this process's cache."""
+    if cache_dir is None:
+        return
+    cache = default_cache()
+    tier = cache.disk_tier
+    if isinstance(tier, DiskEvaluationCache) and str(tier.directory) == str(cache_dir):
+        return
+    cache.attach_disk_tier(DiskEvaluationCache(cache_dir))
+
+
+class SweepRunner:
+    """Executes sweep plans serially or across a worker pool.
+
+    Parameters
+    ----------
+    workers:
+        ``None``, 0 or 1 run the plan serially in-process; ``>= 2`` spreads
+        the partitions over a ``multiprocessing`` pool of that size.
+    cache_dir:
+        Directory of the shared on-disk evaluation-cache tier.  Attached to
+        every worker process (and, for the duration of a serial run, to the
+        in-process default cache), so concurrent workers and repeated runs
+        share generated tensors.
+    mp_context:
+        Optional multiprocessing start-method name (``"fork"`` / ``"spawn"``);
+        defaults to ``fork`` where available (POSIX) and ``spawn`` elsewhere.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        cache_dir=None,
+        mp_context: str | None = None,
+    ):
+        if workers is not None and workers < 0:
+            raise ValueError("workers must be non-negative")
+        self.workers = workers or 0
+        self.cache_dir = cache_dir
+        self.mp_context = mp_context
+
+    def run(self, plan: SweepPlan) -> SweepResults:
+        """Execute every cell of ``plan`` and return the results."""
+        partitions = plan.partitions()
+        results: list[SimulationResult | None] = [None] * len(plan.cells)
+        if self.workers >= 2 and len(partitions) > 1:
+            outputs = self._run_pool(plan, partitions)
+        else:
+            outputs = self._run_serial(plan, partitions)
+        for indices, partition_results in zip(partitions, outputs):
+            for index, result in zip(indices, partition_results):
+                results[index] = result
+        return SweepResults(plan, results)
+
+    # ------------------------------------------------------------------ #
+    # Execution backends
+    # ------------------------------------------------------------------ #
+    def _run_serial(self, plan: SweepPlan, partitions) -> list[list[SimulationResult]]:
+        cache = default_cache()
+        previous_tier = cache.disk_tier
+        if self.cache_dir is not None:
+            _ensure_disk_tier(self.cache_dir)
+        try:
+            return [
+                _execute_partition([plan.cells[i] for i in indices], plan.config)
+                for indices in partitions
+            ]
+        finally:
+            if self.cache_dir is not None:
+                cache.attach_disk_tier(previous_tier)
+
+    def _run_pool(self, plan: SweepPlan, partitions) -> list[list[SimulationResult]]:
+        method = self.mp_context
+        if method is None:
+            method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        context = multiprocessing.get_context(method)
+        payloads = [
+            (tuple(plan.cells[i] for i in indices), plan.config, self.cache_dir)
+            for indices in partitions
+        ]
+        processes = min(self.workers, len(payloads))
+        with context.Pool(processes=processes) as pool:
+            return pool.map(_pool_task, payloads)
+
+
+def run_ann_network(
+    simulators: Sequence,
+    network: NetworkWorkload,
+    seed: int,
+) -> dict[str, SimulationResult]:
+    """Batched dual-sparse **ANN** network sweep (Figure 18's baselines).
+
+    The ANN twin of the partition executor: one pass over the layers, one
+    shared :class:`~repro.engine.AnnLayerEvaluation` per layer driving every
+    simulator, the evaluation released before the next layer.  Tensor
+    generation consumes one ``default_rng(seed)`` stream in layer order,
+    exactly like the historical implementation.
+    """
+    rng = np.random.default_rng(seed)
+    per_simulator: dict[str, list[SimulationResult]] = {sim.name: [] for sim in simulators}
+    for layer in network.layers:
+        evaluation = AnnLayerEvaluation(*ann_layer_tensors(layer, rng=rng))
+        for simulator in simulators:
+            per_simulator[simulator.name].append(
+                simulator.simulate_layer(
+                    evaluation.activations,
+                    evaluation.weights,
+                    name=layer.name,
+                    evaluation=evaluation,
+                )
+            )
+    return {
+        name: aggregate_results(results, accelerator=name, workload=network.name)
+        for name, results in per_simulator.items()
+    }

@@ -1,0 +1,321 @@
+"""Declarative experiment plans: workload/simulator specs and scenarios.
+
+Every figure in the paper is a sweep -- accelerators x workloads x config
+overrides x seeds.  This module turns those sweeps into *data*:
+
+* :class:`WorkloadSpec` / :class:`SimulatorSpec` declare one workload (a
+  named network or representative layer, possibly rescaled, re-timestepped
+  or with sparsity-profile overrides) and one simulator job (an accelerator
+  from the registry, possibly with the fine-tuned preprocessing or a
+  re-provisioned configuration),
+* :class:`SweepCell` is the atom of work -- one workload simulated by one
+  simulator at one seed -- and :class:`SweepPlan` is an ordered tuple of
+  cells plus an optional shared hardware configuration,
+* :class:`Scenario` names a plan builder plus a result shaper, and the
+  registry (:func:`register_scenario` / :func:`run_scenario`) makes every
+  paper figure a named, composable entry point instead of a bespoke
+  ``run(...)`` function.
+
+Execution lives in :mod:`repro.runner.executor`; all the classes here are
+plain frozen dataclasses, hashable and picklable, so a plan can be
+partitioned and shipped to worker processes verbatim.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, replace as dataclass_replace
+from typing import Callable, Iterable, Mapping
+
+from ..baselines import (
+    GammaSNN,
+    GoSPASNN,
+    PTBSimulator,
+    SparTenSNN,
+    StellarSimulator,
+)
+from ..core import LoASConfig, LoASSimulator
+from ..snn.workloads import (
+    LayerWorkload,
+    NetworkWorkload,
+    get_layer_workload,
+    get_network_workload,
+)
+
+__all__ = [
+    "SIMULATOR_FACTORIES",
+    "Scenario",
+    "SimulatorSpec",
+    "SweepCell",
+    "SweepPlan",
+    "WorkloadSpec",
+    "get_scenario",
+    "list_scenarios",
+    "register_scenario",
+    "run_scenario",
+]
+
+
+#: Accelerator registry the :class:`SimulatorSpec` keys resolve through.
+SIMULATOR_FACTORIES: dict[str, type] = {
+    "SparTen-SNN": SparTenSNN,
+    "GoSPA-SNN": GoSPASNN,
+    "Gamma-SNN": GammaSNN,
+    "LoAS": LoASSimulator,
+    "PTB": PTBSimulator,
+    "Stellar": StellarSimulator,
+}
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Declaration of one workload: a named network or representative layer.
+
+    Attributes
+    ----------
+    kind:
+        ``"network"`` (Table II full network) or ``"layer"`` (representative
+        single layer).
+    name:
+        Registry name, e.g. ``"vgg16"`` or ``"V-L8"``.
+    scale:
+        Proportional shrink factor applied after construction (1.0 = paper
+        size), exactly as the experiment modules always applied it.
+    timesteps:
+        Override of the temporal dimension ``T`` (applied at construction,
+        before scaling; scaling never touches ``T``).
+    profile_overrides:
+        ``(("field", value), ...)`` replacements on the sparsity profile
+        (e.g. ``(("weight_sparsity", 0.25),)`` for the Figure 17 sweep),
+        applied after scaling.
+    """
+
+    kind: str
+    name: str
+    scale: float = 1.0
+    timesteps: int | None = None
+    profile_overrides: tuple[tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("network", "layer"):
+            raise ValueError("kind must be 'network' or 'layer', got %r" % (self.kind,))
+
+    @property
+    def label(self) -> str:
+        """Result-dictionary key for this workload (its registry name)."""
+        return self.name
+
+    def build(self) -> NetworkWorkload | LayerWorkload:
+        """Materialise the declared workload."""
+        if self.kind == "network":
+            workload = (
+                get_network_workload(self.name)
+                if self.timesteps is None
+                else get_network_workload(self.name, timesteps=self.timesteps)
+            )
+            if self.scale != 1.0:
+                workload = workload.scaled(self.scale)
+            if self.profile_overrides:
+                profile = dataclass_replace(workload.profile, **dict(self.profile_overrides))
+                workload = NetworkWorkload(
+                    workload.name,
+                    [
+                        LayerWorkload(layer.shape, profile, layer.weight_bits)
+                        for layer in workload.layers
+                    ],
+                )
+            return workload
+        workload = get_layer_workload(self.name, timesteps=self.timesteps)
+        if self.scale != 1.0:
+            workload = workload.scaled(self.scale)
+        if self.profile_overrides:
+            profile = dataclass_replace(workload.profile, **dict(self.profile_overrides))
+            workload = LayerWorkload(workload.shape, profile, workload.weight_bits)
+        return workload
+
+
+@dataclass(frozen=True)
+class SimulatorSpec:
+    """Declaration of one simulator job.
+
+    Attributes
+    ----------
+    key:
+        Name in :data:`SIMULATOR_FACTORIES` (``"LoAS"``, ``"SparTen-SNN"``...).
+    label:
+        Result-dictionary key for the job; defaults to ``key``.  Distinct
+        labels let one accelerator appear several times in a plan (e.g.
+        ``"LoAS"`` and ``"LoAS-FT"``).
+    finetuned:
+        Evaluate the workload with the fine-tuned preprocessing profile.
+    kwargs:
+        Extra ``(("name", value), ...)`` keyword arguments forwarded to
+        ``simulate_layer`` (e.g. ``(("preprocess", True),)``).
+    config_timesteps:
+        Re-provision the hardware configuration for a different ``T`` via
+        ``LoASConfig.with_timesteps`` (Figure 17's timestep sweep).
+    """
+
+    key: str
+    label: str = ""
+    finetuned: bool = False
+    kwargs: tuple[tuple[str, object], ...] = ()
+    config_timesteps: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.key not in SIMULATOR_FACTORIES:
+            raise KeyError(
+                "unknown simulator %r (expected one of %s)"
+                % (self.key, sorted(SIMULATOR_FACTORIES))
+            )
+        if not self.label:
+            object.__setattr__(self, "label", self.key)
+
+    def build(self, config=None):
+        """Instantiate the simulator (optionally over a shared config)."""
+        if self.config_timesteps is not None:
+            config = (config or LoASConfig()).with_timesteps(self.config_timesteps)
+        return SIMULATOR_FACTORIES[self.key](config)
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One unit of sweep work: ``workload`` x ``simulator`` x ``seed``.
+
+    ``tag`` groups cells of one plan into sub-sweeps (e.g. the three
+    Figure 17 panels) so a result shaper can slice them without guessing.
+    """
+
+    workload: WorkloadSpec
+    simulator: SimulatorSpec
+    seed: int = 0
+    tag: str = ""
+
+
+@dataclass(frozen=True)
+class SweepPlan:
+    """An ordered, partitionable set of sweep cells.
+
+    Cells sharing ``(workload, seed)`` form one *partition*: the executor
+    evaluates the workload once per partition and drives every simulator of
+    the partition off the shared evaluation, layer by layer.  Partitions are
+    independent and may run in separate worker processes.
+    """
+
+    name: str
+    cells: tuple[SweepCell, ...]
+    config: object | None = None
+
+    @classmethod
+    def product(
+        cls,
+        name: str,
+        workloads: Iterable[WorkloadSpec],
+        simulators: Iterable[SimulatorSpec],
+        seeds: Iterable[int] = (0,),
+        config=None,
+        tag: str = "",
+    ) -> "SweepPlan":
+        """Cartesian plan: every workload x every seed x every simulator."""
+        cells = tuple(
+            SweepCell(workload, simulator, seed, tag)
+            for workload in workloads
+            for seed in seeds
+            for simulator in simulators
+        )
+        return cls(name=name, cells=cells, config=config)
+
+    def __add__(self, other: "SweepPlan") -> "SweepPlan":
+        """Concatenate two plans (first plan's name and config win)."""
+        return SweepPlan(self.name, self.cells + other.cells, self.config)
+
+    def partitions(self) -> list[list[int]]:
+        """Cell-index groups sharing ``(workload, seed)``, in plan order."""
+        groups: OrderedDict[tuple, list[int]] = OrderedDict()
+        for index, cell in enumerate(self.cells):
+            groups.setdefault((cell.workload, cell.seed), []).append(index)
+        return list(groups.values())
+
+
+# --------------------------------------------------------------------- #
+# Scenario registry
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Scenario:
+    """A named, parameterised experiment.
+
+    Sweep-shaped scenarios declare ``build`` (``(**params) -> SweepPlan``)
+    plus ``shape`` (``(results, **params) -> dict``); bespoke scenarios
+    (training runs, static tables) declare ``run`` (``(**params) -> dict``)
+    instead.  ``defaults`` are the parameter defaults merged under the
+    caller's overrides by :func:`run_scenario`.
+    """
+
+    name: str
+    description: str = ""
+    build: Callable[..., SweepPlan] | None = None
+    shape: Callable[..., Mapping] | None = None
+    run: Callable[..., Mapping] | None = None
+    defaults: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if (self.run is None) == (self.build is None):
+            raise ValueError("a scenario declares either build(+shape) or run")
+
+
+_SCENARIOS: dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario) -> Scenario:
+    """Add ``scenario`` to the registry (idempotent per name)."""
+    _SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a registered scenario by name."""
+    try:
+        return _SCENARIOS[name]
+    except KeyError as exc:
+        raise KeyError(
+            "unknown scenario %r (expected one of %s)" % (name, list_scenarios())
+        ) from exc
+
+
+def list_scenarios() -> list[str]:
+    """Sorted names of every registered scenario."""
+    return sorted(_SCENARIOS)
+
+
+def run_scenario(name: str, workers: int | None = None, cache_dir=None, **params):
+    """Execute a registered scenario and return its shaped result dict.
+
+    ``workers`` and ``cache_dir`` configure the
+    :class:`~repro.runner.executor.SweepRunner` (worker-pool size and the
+    shared on-disk evaluation-cache directory); the remaining keyword
+    arguments override the scenario's declared defaults.
+    """
+    from .executor import SweepRunner  # late import: executor imports this module
+
+    scenario = get_scenario(name)
+    merged = dict(scenario.defaults)
+    merged.update(params)
+    if scenario.run is not None:
+        # Bespoke runs receive the runner options only when they declare
+        # support (their defaults carry the key); silently dropping a
+        # requested pool or disk tier would misreport what actually ran.
+        supported = dict(scenario.defaults)
+        for option, value in (("workers", workers), ("cache_dir", cache_dir)):
+            if value is None:
+                continue
+            if option not in supported:
+                raise TypeError(
+                    "scenario %r does not support %r" % (name, option)
+                )
+            merged[option] = value
+        return scenario.run(**merged)
+    plan = scenario.build(**merged)
+    results = SweepRunner(workers=workers, cache_dir=cache_dir).run(plan)
+    if scenario.shape is None:
+        return results
+    return scenario.shape(results, **merged)

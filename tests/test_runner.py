@@ -1,0 +1,474 @@
+"""Orchestration equivalence: the runner reproduces the serial loops exactly.
+
+Every refactored experiment ``run(...)`` is checked field-by-field against a
+hand-rolled serial reference that mirrors the pre-refactor implementation
+(per-simulator network walks with fresh equal-seed generators), in both
+serial and 2-worker modes.  Plan/partition structure and the scenario
+registry are covered alongside.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    GammaANN,
+    GammaSNN,
+    GoSPASNN,
+    PTBSimulator,
+    SparTenANN,
+    SparTenSNN,
+    StellarSimulator,
+    ann_layer_tensors,
+)
+from repro.core import DEFAULT_RNG_SEED, LoASConfig, LoASSimulator
+from repro.engine import AnnLayerEvaluation
+from repro.experiments import (
+    list_scenarios,
+    run_fig5,
+    run_fig12,
+    run_fig13,
+    run_fig14,
+    run_fig17,
+    run_fig18,
+    run_fig19,
+    run_layers,
+    run_networks,
+    run_scenario,
+)
+from repro.metrics.results import aggregate_results
+from repro.runner import (
+    SimulatorSpec,
+    SweepPlan,
+    SweepRunner,
+    WorkloadSpec,
+)
+from repro.snn.network import LayerShape
+from repro.snn.workloads import (
+    LayerWorkload,
+    SparsityProfile,
+    get_layer_workload,
+    get_network_workload,
+)
+
+SCALE = 0.06
+NETWORKS = ("alexnet",)
+LAYERS = ("V-L8",)
+SEED = 1
+
+
+def assert_results_identical(a, b):
+    """Field-by-field bit-exact comparison of two SimulationResults."""
+    assert a.accelerator == b.accelerator
+    assert a.workload == b.workload
+    assert a.cycles == b.cycles
+    assert a.compute_cycles == b.compute_cycles
+    assert a.memory_cycles == b.memory_cycles
+    assert a.dram.as_dict() == b.dram.as_dict()
+    assert a.sram.as_dict() == b.sram.as_dict()
+    assert dict(a.energy.entries) == dict(b.energy.entries)
+    assert a.ops == b.ops
+    assert a.sram_miss_rate == b.sram_miss_rate
+    assert a.extra == b.extra
+
+
+def assert_sweeps_identical(reference, actual):
+    assert list(reference) == list(actual)
+    for workload in reference:
+        assert list(reference[workload]) == list(actual[workload])
+        for accel in reference[workload]:
+            assert_results_identical(reference[workload][accel], actual[workload][accel])
+
+
+# --------------------------------------------------------------------- #
+# Pre-refactor serial references (mirroring the seed implementation)
+# --------------------------------------------------------------------- #
+def legacy_run_networks(networks=NETWORKS, scale=SCALE, seed=SEED, include_finetuned=True, config=None):
+    results = {}
+    for name in networks:
+        network = get_network_workload(name)
+        if scale != 1.0:
+            network = network.scaled(scale)
+        per = {}
+        for accel, cls in (
+            ("SparTen-SNN", SparTenSNN),
+            ("GoSPA-SNN", GoSPASNN),
+            ("Gamma-SNN", GammaSNN),
+            ("LoAS", LoASSimulator),
+        ):
+            per[accel] = cls(config).simulate_network(network, rng=np.random.default_rng(seed))
+        if include_finetuned:
+            per["LoAS-FT"] = LoASSimulator(config).simulate_network(
+                network, rng=np.random.default_rng(seed), finetuned=True, preprocess=True
+            )
+        results[name] = per
+    return results
+
+
+def legacy_run_layers(layers=LAYERS, scale=SCALE, seed=SEED, config=None):
+    results = {}
+    for name in layers:
+        workload = get_layer_workload(name)
+        if scale != 1.0:
+            workload = workload.scaled(scale)
+        per = {}
+        for accel, cls in (
+            ("SparTen-SNN", SparTenSNN),
+            ("GoSPA-SNN", GoSPASNN),
+            ("Gamma-SNN", GammaSNN),
+            ("LoAS", LoASSimulator),
+        ):
+            per[accel] = cls(config).simulate_workload(workload, rng=np.random.default_rng(seed))
+        results[name] = per
+    return results
+
+
+def legacy_run_fig5(layers=("V-L8",), scale=SCALE, seed=SEED):
+    results = {}
+    for name in layers:
+        per_t = {}
+        for timesteps in (1, 4):
+            workload = get_layer_workload(name, timesteps=timesteps)
+            if scale != 1.0:
+                workload = workload.scaled(scale)
+            result = GoSPASNN().simulate_workload(workload, rng=np.random.default_rng(seed))
+            per_t[f"T={timesteps}"] = result.dram.get("psum") / 1e3
+        results[name] = per_t
+    return results
+
+
+def legacy_run_fig17(scale=0.1, seed=SEED, timesteps=(4, 8), weight_sparsities=(0.982, 0.684, 0.25)):
+    results = {"weight_sparsity": {}, "timesteps": {}, "layer_size": {}}
+    base = get_layer_workload("V-L8").scaled(scale)
+
+    reference_cycles = None
+    for level in weight_sparsities:
+        profile = SparsityProfile(
+            base.profile.spike_sparsity,
+            base.profile.silent_fraction,
+            base.profile.silent_fraction_finetuned,
+            level,
+        )
+        workload = LayerWorkload(base.shape, profile)
+        result = LoASSimulator().simulate_workload(workload, rng=np.random.default_rng(seed))
+        if reference_cycles is None:
+            reference_cycles = result.cycles
+        results["weight_sparsity"][f"B={level:.1%}"] = reference_cycles / result.cycles
+
+    reference_cycles = None
+    for t in timesteps:
+        shape = LayerShape(base.shape.name, base.shape.m, base.shape.k, base.shape.n, t)
+        workload = LayerWorkload(shape, base.profile)
+        config = LoASConfig().with_timesteps(t)
+        result = LoASSimulator(config).simulate_workload(workload, rng=np.random.default_rng(seed))
+        if reference_cycles is None:
+            reference_cycles = result.cycles
+        results["timesteps"][f"T={t}"] = reference_cycles / result.cycles
+
+    for layer_name in ("V-L8", "T-HFF"):
+        workload = get_layer_workload(layer_name).scaled(scale)
+        result = LoASSimulator().simulate_workload(workload, rng=np.random.default_rng(seed))
+        throughput = result.ops.get("true_accumulations", 0.0) / result.cycles if result.cycles else 0.0
+        results["layer_size"][layer_name] = throughput
+    reference = results["layer_size"]["V-L8"] or 1.0
+    results["layer_size"] = {k: v / reference for k, v in results["layer_size"].items()}
+    return results
+
+
+def legacy_run_fig18(network="alexnet", scale=SCALE, seed=SEED):
+    snn_network = get_network_workload(network).scaled(scale)
+    loas = LoASSimulator().simulate_network(
+        snn_network, rng=np.random.default_rng(seed), finetuned=True, preprocess=True
+    )
+    rng = np.random.default_rng(seed)
+    evaluations = [
+        (layer.name, AnnLayerEvaluation(*ann_layer_tensors(layer, rng=rng)))
+        for layer in snn_network.layers
+    ]
+    ann_results = {}
+    for simulator in (SparTenANN(), GammaANN()):
+        layer_results = [
+            simulator.simulate_layer(
+                evaluation.activations, evaluation.weights, name=name, evaluation=evaluation
+            )
+            for name, evaluation in evaluations
+        ]
+        ann_results[simulator.name] = aggregate_results(
+            layer_results, accelerator=simulator.name, workload=network
+        )
+    everything = {"LoAS (SNN)": loas, **{f"{k} (ANN)": v for k, v in ann_results.items()}}
+    reference_energy = loas.energy_pj or 1.0
+    reference_dram = loas.dram_bytes or 1.0
+    reference_sram = loas.sram_bytes or 1.0
+    return {
+        name: {
+            "normalized_energy": result.energy_pj / reference_energy,
+            "normalized_dram": result.dram_bytes / reference_dram,
+            "normalized_sram": result.sram_bytes / reference_sram,
+            "data_movement_fraction": result.energy.data_movement_fraction(),
+        }
+        for name, result in everything.items()
+    }
+
+
+def legacy_run_fig19(network="alexnet", scale=SCALE, seed=SEED):
+    snn_network = get_network_workload(network).scaled(scale)
+    loas = LoASSimulator().simulate_network(snn_network, rng=np.random.default_rng(seed))
+    ptb = PTBSimulator().simulate_network(snn_network, rng=np.random.default_rng(seed))
+    stellar = StellarSimulator().simulate_network(snn_network, rng=np.random.default_rng(seed))
+    results = {"LoAS": loas, "PTB": ptb, "Stellar": stellar}
+    return {
+        name: {
+            "speedup_vs_ptb": ptb.cycles / result.cycles,
+            "normalized_energy": result.energy_pj / loas.energy_pj,
+            "normalized_dram": result.dram_bytes / loas.dram_bytes,
+            "normalized_sram": result.sram_bytes / loas.sram_bytes,
+        }
+        for name, result in results.items()
+    }
+
+
+# --------------------------------------------------------------------- #
+# Equivalence: orchestrated == legacy serial, in serial and 2-worker modes
+# --------------------------------------------------------------------- #
+class TestSweepEquivalence:
+    @pytest.mark.parametrize("workers", [None, 2])
+    def test_run_networks_matches_legacy(self, workers):
+        reference = legacy_run_networks()
+        actual = run_networks(NETWORKS, scale=SCALE, seed=SEED, workers=workers)
+        assert_sweeps_identical(reference, actual)
+
+    @pytest.mark.parametrize("workers", [None, 2])
+    def test_run_layers_matches_legacy(self, workers):
+        reference = legacy_run_layers()
+        actual = run_layers(LAYERS, scale=SCALE, seed=SEED, workers=workers)
+        assert_sweeps_identical(reference, actual)
+
+    def test_run_networks_without_finetuned(self):
+        reference = legacy_run_networks(include_finetuned=False)
+        actual = run_networks(NETWORKS, scale=SCALE, seed=SEED, include_finetuned=False)
+        assert_sweeps_identical(reference, actual)
+
+
+class TestExperimentEquivalence:
+    @pytest.mark.parametrize("workers", [None, 2])
+    def test_fig5_matches_legacy(self, workers):
+        assert legacy_run_fig5() == run_fig5(("V-L8",), scale=SCALE, seed=SEED, workers=workers)
+
+    def test_fig12_matches_legacy_formula(self):
+        raw = legacy_run_networks()
+        reference = {}
+        for network, per in raw.items():
+            ref = per["SparTen-SNN"]
+            reference[network] = {
+                accel: {
+                    "speedup": ref.cycles / result.cycles,
+                    "energy_efficiency": ref.energy_pj / result.energy_pj,
+                    "cycles": result.cycles,
+                    "energy_pj": result.energy_pj,
+                }
+                for accel, result in per.items()
+            }
+        assert reference == run_fig12(NETWORKS, scale=SCALE, seed=SEED)
+
+    def test_fig13_matches_legacy_formula(self):
+        raw = legacy_run_networks()
+        reference = {
+            network: {
+                accel: {
+                    "offchip_kb": result.dram_bytes / 1e3,
+                    "onchip_mb": result.sram_bytes / 1e6,
+                }
+                for accel, result in per.items()
+            }
+            for network, per in raw.items()
+        }
+        assert reference == run_fig13(NETWORKS, scale=SCALE, seed=SEED)
+
+    def test_fig14_matches_legacy_formula(self):
+        raw = legacy_run_layers()
+        reference = {}
+        for layer, per in raw.items():
+            loas = per["LoAS"]
+            loas_total = loas.dram_bytes or 1.0
+            loas_miss = loas.sram_miss_rate or 1e-9
+            reference[layer] = {}
+            for accel, result in per.items():
+                breakdown = result.dram.as_dict()
+                reference[layer][accel] = {
+                    "weight": breakdown.get("weight", 0.0) / loas_total,
+                    "input": breakdown.get("input", 0.0) / loas_total,
+                    "psum": breakdown.get("psum", 0.0) / loas_total,
+                    "format": breakdown.get("format", 0.0) / loas_total,
+                    "output": breakdown.get("output", 0.0) / loas_total,
+                    "total": result.dram_bytes / loas_total,
+                    "normalized_miss_rate": result.sram_miss_rate / loas_miss,
+                }
+        assert reference == run_fig14(LAYERS, scale=SCALE, seed=SEED)
+
+    @pytest.mark.parametrize("workers", [None, 2])
+    def test_fig17_matches_legacy(self, workers):
+        assert legacy_run_fig17() == run_fig17(scale=0.1, seed=SEED, workers=workers)
+
+    def test_fig18_matches_legacy(self):
+        assert legacy_run_fig18() == run_fig18("alexnet", scale=SCALE, seed=SEED)
+
+    @pytest.mark.parametrize("workers", [None, 2])
+    def test_fig19_matches_legacy(self, workers):
+        assert legacy_run_fig19() == run_fig19("alexnet", scale=SCALE, seed=SEED, workers=workers)
+
+
+# --------------------------------------------------------------------- #
+# Plans, partitions, registry
+# --------------------------------------------------------------------- #
+class TestPlanStructure:
+    def test_product_order_and_count(self):
+        plan = SweepPlan.product(
+            "p",
+            (WorkloadSpec("layer", "V-L8"), WorkloadSpec("layer", "A-L4")),
+            (SimulatorSpec("LoAS"), SimulatorSpec("PTB")),
+            seeds=(0, 1),
+        )
+        assert len(plan.cells) == 8
+        # Workload-major, then seed, then simulator: cells of one
+        # (workload, seed) partition are adjacent.
+        assert [c.workload.name for c in plan.cells[:4]] == ["V-L8"] * 4
+        assert [c.seed for c in plan.cells[:2]] == [0, 0]
+        assert [c.simulator.key for c in plan.cells[:2]] == ["LoAS", "PTB"]
+
+    def test_partitions_group_by_workload_and_seed(self):
+        plan = SweepPlan.product(
+            "p",
+            (WorkloadSpec("layer", "V-L8"),),
+            (SimulatorSpec("LoAS"), SimulatorSpec("PTB")),
+            seeds=(0, 1),
+        )
+        partitions = plan.partitions()
+        assert [len(p) for p in partitions] == [2, 2]
+        assert partitions[0] == [0, 1]
+
+    def test_simulator_spec_label_defaults_to_key(self):
+        assert SimulatorSpec("LoAS").label == "LoAS"
+        assert SimulatorSpec("LoAS", label="LoAS-FT").label == "LoAS-FT"
+
+    def test_unknown_simulator_key_rejected(self):
+        with pytest.raises(KeyError):
+            SimulatorSpec("NoSuchAccelerator")
+
+    def test_unknown_workload_kind_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec("tile", "V-L8")
+
+    def test_plan_concatenation_preserves_tags(self):
+        first = SweepPlan.product(
+            "p", (WorkloadSpec("layer", "V-L8"),), (SimulatorSpec("LoAS"),), tag="a"
+        )
+        second = SweepPlan.product(
+            "q", (WorkloadSpec("layer", "A-L4"),), (SimulatorSpec("LoAS"),), tag="b"
+        )
+        combined = first + second
+        assert combined.name == "p"
+        assert [c.tag for c in combined.cells] == ["a", "b"]
+
+    def test_results_addressable_by_cell_and_tag(self):
+        plan = SweepPlan.product(
+            "p",
+            (WorkloadSpec("layer", "V-L8", scale=0.05),),
+            (SimulatorSpec("LoAS"),),
+            seeds=(3,),
+            tag="only",
+        )
+        results = SweepRunner().run(plan)
+        assert len(results) == 1
+        (cell, result) = next(iter(results))
+        assert results[cell] is result
+        assert results.tagged("only") == [(cell, result)]
+        assert results.tagged("other") == []
+        assert results.nested() == {"V-L8": {"LoAS": result}}
+
+    def test_nested_refuses_to_collapse_duplicate_labels(self):
+        # Same layer at two timesteps, same simulator label: a nested dict
+        # would silently keep only the last cell's result.
+        plan = SweepPlan.product(
+            "p",
+            (
+                WorkloadSpec("layer", "V-L8", scale=0.05, timesteps=1),
+                WorkloadSpec("layer", "V-L8", scale=0.05, timesteps=4),
+            ),
+            (SimulatorSpec("LoAS"),),
+            seeds=(1,),
+        )
+        results = SweepRunner().run(plan)
+        with pytest.raises(ValueError):
+            results.nested()
+        assert len(list(results)) == 2  # per-cell access still covers everything
+
+
+class TestScenarioRegistry:
+    def test_every_figure_and_table_is_registered(self):
+        names = list_scenarios()
+        for expected in (
+            "networks",
+            "layers",
+            "fig5-psum-traffic",
+            "fig11-preprocessing",
+            "fig12-overall",
+            "fig13-traffic",
+            "fig14-breakdown",
+            "fig16-temporal",
+            "fig17-scalability",
+            "fig18-snn-vs-ann",
+            "fig19-dense-baselines",
+            "table1-capabilities",
+            "table2-workloads",
+            "table4-area-power",
+        ):
+            assert expected in names
+
+    def test_run_scenario_matches_run_function(self):
+        via_scenario = run_scenario("fig13-traffic", networks=NETWORKS, scale=SCALE, seed=SEED)
+        assert via_scenario == run_fig13(NETWORKS, scale=SCALE, seed=SEED)
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError):
+            run_scenario("fig99-does-not-exist")
+
+    def test_bespoke_scenario_runs(self):
+        data = run_scenario("table1-capabilities")
+        assert "LoAS" in data
+
+    def test_bespoke_scenario_rejects_unsupported_runner_options(self):
+        # fig16 has no sweep behind it: a requested pool or disk tier must
+        # fail loudly instead of being silently dropped.
+        with pytest.raises(TypeError):
+            run_scenario("fig16-temporal", workers=2)
+        with pytest.raises(TypeError):
+            run_scenario("table1-capabilities", cache_dir="/tmp/nowhere")
+
+
+class TestDefaultSeed:
+    def test_implicit_rng_fallback_is_the_documented_constant(self, tiny_workload):
+        implicit = LoASSimulator().simulate_workload(tiny_workload)
+        explicit = LoASSimulator().simulate_workload(
+            tiny_workload, rng=np.random.default_rng(DEFAULT_RNG_SEED)
+        )
+        assert_results_identical(implicit, explicit)
+
+
+class TestRunnerCacheDir:
+    def test_sweep_with_disk_tier_matches_plain_sweep(self, tmp_path):
+        plain = run_layers(LAYERS, scale=SCALE, seed=SEED)
+        plan_runner = SweepRunner(cache_dir=tmp_path / "tier")
+        from repro.experiments.sweeps import layer_sweep_plan
+
+        via_tier_cold = plan_runner.run(layer_sweep_plan(LAYERS, scale=SCALE, seed=SEED)).nested()
+        # Second run: a fresh in-process LRU would miss, but the disk tier
+        # serves the tensors; results must stay bit-identical.
+        from repro.engine import clear_default_cache
+
+        clear_default_cache()
+        via_tier_warm = plan_runner.run(layer_sweep_plan(LAYERS, scale=SCALE, seed=SEED)).nested()
+        assert_sweeps_identical(plain, via_tier_cold)
+        assert_sweeps_identical(plain, via_tier_warm)
+        assert (tmp_path / "tier").exists()
