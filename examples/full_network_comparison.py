@@ -4,7 +4,7 @@ Run with::
 
     python examples/full_network_comparison.py [alexnet|vgg16|resnet19] [scale] [workers]
 
-The script drives the sweep orchestrator (``repro.runner``) over the chosen
+The script drives the public API (``repro.Session``) over the chosen
 Table II network: LoAS (with and without the fine-tuned preprocessing) and
 the SparTen / GoSPA / Gamma "-SNN" baselines, printing speedups, energy
 efficiency and memory traffic exactly as the paper's overall-performance
@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import sys
 
-from repro.experiments import run_networks
+from repro import Session
 from repro.metrics import format_table
 
 
@@ -30,9 +30,8 @@ def main() -> None:
         f"{'serial' if not workers or workers < 2 else f'{workers} workers'}) ...\n"
     )
 
-    results = run_networks(
-        networks=(network_name,), scale=scale, seed=1, workers=workers
-    )[network_name]
+    session = Session(workers=workers, scale=scale)
+    results = session.run("networks", networks=(network_name,), seed=1).payload[network_name]
 
     reference = results["SparTen-SNN"]
     rows = []

@@ -7,11 +7,25 @@ The project is a plain ``src``-layout package; a fresh clone installs with
 which brings in pytest and pytest-benchmark for the tier-1 suite and the
 figure benchmarks.
 """
+import re
+from pathlib import Path
+
 from setuptools import find_packages, setup
+
+
+def _read_version() -> str:
+    """Single-source the version from ``repro.__version__`` (no import --
+    the package's dependencies need not be installed at build time)."""
+    text = (Path(__file__).parent / "src" / "repro" / "__init__.py").read_text()
+    match = re.search(r'^__version__ = "([^"]+)"$', text, re.MULTILINE)
+    if match is None:
+        raise RuntimeError("repro.__version__ not found in src/repro/__init__.py")
+    return match.group(1)
+
 
 setup(
     name="loas-repro",
-    version="0.1.0",
+    version=_read_version(),
     description=(
         "Reproduction of LoAS: fully temporal-parallel dataflow for "
         "dual-sparse spiking neural networks (MICRO 2024)"

@@ -18,9 +18,32 @@ The package is organised bottom-up:
   P-LIF and the LoAS accelerator simulator,
 * :mod:`repro.baselines` -- SparTen/GoSPA/Gamma "-SNN" baselines, the ANN
   originals, and the dense PTB / Stellar baselines,
-* :mod:`repro.experiments` -- one module per paper table / figure.
+* :mod:`repro.experiments` -- one scenario per paper table / figure,
+* :mod:`repro.api` -- the public surface: :class:`Session`, typed
+  :class:`ScenarioResult` records and the ``python -m repro`` CLI.
 
-Quick start::
+Quick start -- configure resources once, then run or stream any scenario::
+
+    from repro import Session
+
+    session = Session(workers=2, cache_dir=".eval-cache", scale=0.25)
+    result = session.run("fig12-overall")          # ScenarioResult
+    print(result.payload["vgg16"]["LoAS"]["speedup"])
+    print(result.provenance["cache"])              # hit/miss counters
+
+    stream = session.stream("fig13-traffic")       # partitions as they land
+    for partition in stream:
+        print(f"{partition.workload_label}: {partition.index + 1}/{partition.total}")
+    merged = stream.result                         # == session.run(...), bit-for-bit
+
+    print(session.run("table2-workloads").to_json(indent=2))
+
+The same surface is scriptable from a shell::
+
+    python -m repro list
+    python -m repro run fig13-traffic --scale 0.25 --workers 2 --stream
+
+Low-level access stays available for single workloads::
 
     from repro import LoASSimulator, get_layer_workload
 
@@ -29,6 +52,9 @@ Quick start::
     print(result.cycles, result.dram_bytes, result.energy_pj)
 """
 
+__version__ = "0.2.0"
+
+from .api import PartitionResult, ScenarioResult, Session, default_session
 from .core import LoASConfig, LoASSimulator, ftp_layer
 from .engine import LayerEvaluation, WorkloadEvaluationCache, default_cache
 from .snn import (
@@ -46,14 +72,16 @@ __all__ = [
     "LoASConfig",
     "LoASSimulator",
     "PackedSpikeMatrix",
+    "PartitionResult",
+    "ScenarioResult",
+    "Session",
     "WorkloadEvaluationCache",
     "__version__",
     "default_cache",
+    "default_session",
     "ftp_layer",
     "get_layer_workload",
     "get_network_workload",
     "lif_fire",
     "spmspm_reference",
 ]
-
-__version__ = "0.1.0"

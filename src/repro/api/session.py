@@ -1,0 +1,530 @@
+"""The :class:`Session` façade: one object owning resources and policy.
+
+Historically every entry point (thirteen ``run_*`` functions plus
+``run_scenario``) threaded ``workers`` / ``cache_dir`` / ``scale`` through
+each call.  A :class:`Session` configures those once:
+
+* **cache tiers** -- the size of the process-wide evaluation LRU
+  (``lru_maxsize``) and the shared on-disk tier (``cache_dir`` +
+  ``disk_max_bytes``).  The session owns its
+  :class:`~repro.engine.DiskEvaluationCache` instance, so its counters
+  accumulate across runs and :meth:`cache_stats` reports real numbers.
+* **execution policy** -- the worker-pool size (``workers``; ``None``/0/1 =
+  serial) and the multiprocessing start method (``mp_context``).
+* **workload defaults** -- a default ``scale`` applied to every scenario
+  that declares one, so quick-look sessions shrink every sweep uniformly.
+
+Per-call keyword arguments always win over session defaults.  Session
+defaults are *soft*: a bespoke scenario that cannot honour ``workers`` or
+``cache_dir`` simply ignores the session-level value, whereas passing either
+explicitly to :meth:`Session.run` for such a scenario raises ``TypeError``
+(silently dropping an explicitly requested pool or disk tier would misreport
+what ran).
+
+Note the evaluation LRU itself is process-wide (simulators resolve it via
+:func:`repro.engine.default_cache`), so sessions in one process share
+cached tensors -- by design, that is the engine's cross-simulator sharing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+from ..engine import CacheStats, DiskEvaluationCache, default_cache
+from ..runner.executor import SweepResults, SweepRunner
+from ..runner.scenario import Scenario, get_scenario, list_scenarios
+from .result import PartitionResult, ScenarioResult
+
+__all__ = ["ScenarioStream", "Session", "default_session"]
+
+
+def _legacy_shim_warning(old_name: str, scenario_name: str) -> None:
+    """The ``DeprecationWarning`` every legacy ``run_*`` shim emits."""
+    import warnings
+
+    warnings.warn(
+        "%s() is deprecated; use repro.api.Session.run(%r, ...) -- the "
+        "returned payload is unchanged, plus provenance and streaming"
+        % (old_name, scenario_name),
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _ensure_registry() -> None:
+    """Populate the scenario registry (importing the experiment modules)."""
+    from .. import experiments  # noqa: F401  -- import side effect registers
+
+
+def _accepted_params(scenario: Scenario) -> set[str] | None:
+    """Parameter names ``scenario`` accepts, or ``None`` when unbounded.
+
+    The union of the declared defaults and the named parameters of the
+    ``run``/``build`` callable; ``None`` (accept anything) when the
+    callable takes ``**kwargs``.
+    """
+    import inspect
+
+    function = scenario.run if scenario.run is not None else scenario.build
+    try:
+        signature = inspect.signature(function)
+    except (TypeError, ValueError):
+        return None
+    names = set(dict(scenario.defaults))
+    for parameter in signature.parameters.values():
+        if parameter.kind is inspect.Parameter.VAR_KEYWORD:
+            return None
+        if parameter.kind in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        ):
+            names.add(parameter.name)
+    return names
+
+
+def _package_version() -> str:
+    from .. import __version__
+
+    return __version__
+
+
+def _same_directory(a, b) -> bool:
+    """Whether two directory spellings name the same place.
+
+    Normalised (absolute, no trailing slash, symlinks resolved where the
+    path exists) so ``"/tmp/tier/"`` and ``"/tmp/tier"`` compare equal.
+    """
+    from pathlib import Path
+
+    return Path(a).expanduser().resolve() == Path(b).expanduser().resolve()
+
+
+class ScenarioStream(Iterator[PartitionResult]):
+    """Iterator over a sweep's partitions, finalising into a :class:`ScenarioResult`.
+
+    Returned by :meth:`Session.stream`.  Yields one
+    :class:`~repro.api.result.PartitionResult` per completed ``(workload,
+    seed)`` partition -- in plan order serially, in completion order over a
+    worker pool.  Once exhausted, :attr:`result` holds the merged
+    :class:`~repro.api.result.ScenarioResult`, bit-identical to what
+    :meth:`Session.run` returns for the same arguments (results are slotted
+    by cell index, so completion order is irrelevant).
+
+    In pooled mode the underlying executor holds the worker pool open for
+    the stream's lifetime.  When abandoning a stream early, call
+    :meth:`close` -- or iterate inside a ``with`` block -- to shut it down
+    immediately instead of waiting for garbage collection.
+    """
+
+    def __init__(self, scenario_name: str, plan, runner: SweepRunner, capture, finalise):
+        self.plan = plan
+        self._scenario_name = scenario_name
+        self._total = len(plan.partitions())
+        self._iterator = runner.iter_partitions(plan)
+        self._slots = [None] * len(plan.cells)
+        self._capture = capture
+        self._finalise = finalise
+        self._result: ScenarioResult | None = None
+        self._closed = False
+        self._started = False
+
+    def __iter__(self) -> "ScenarioStream":
+        return self
+
+    def __next__(self) -> PartitionResult:
+        if not self._started:
+            # Counter baselines are captured when execution actually starts
+            # (the generator is lazy), so work interleaved between stream()
+            # and the first partition doesn't pollute the provenance deltas.
+            self._started = True
+            self._capture()
+        try:
+            ordinal, indices, results = next(self._iterator)
+        except StopIteration:
+            # A closed stream's generator also raises StopIteration, but its
+            # slots are only partially filled -- never finalise those.
+            if self._result is None and not self._closed:
+                self._result = self._finalise(SweepResults(self.plan, self._slots))
+            raise
+        for index, result in zip(indices, results):
+            self._slots[index] = result
+        return PartitionResult(
+            scenario=self._scenario_name,
+            index=ordinal,
+            total=self._total,
+            cells=tuple(self.plan.cells[i] for i in indices),
+            results=tuple(results),
+        )
+
+    def close(self) -> None:
+        """Stop early: end execution and shut the worker pool if one runs.
+
+        A stream closed before exhaustion yields no further partitions and
+        never produces a merged :attr:`result`; safe to call repeatedly, and
+        harmless after exhaustion (the merged result stays available).
+        """
+        self._closed = True
+        self._iterator.close()
+
+    def __enter__(self) -> "ScenarioStream":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def result(self) -> ScenarioResult:
+        """The merged result; available once every partition was consumed."""
+        if self._result is None:
+            if self._closed:
+                raise RuntimeError(
+                    "stream was closed before exhaustion; no merged result "
+                    "exists (re-run via Session.run or a fresh stream)"
+                )
+            raise RuntimeError(
+                "stream not exhausted; iterate every partition (or call "
+                "collect()) before reading .result"
+            )
+        return self._result
+
+    def collect(self) -> ScenarioResult:
+        """Drain any remaining partitions and return the merged result."""
+        for _ in self:
+            pass
+        return self.result
+
+
+class Session:
+    """Configured entry point to every registered scenario.
+
+    Parameters
+    ----------
+    workers:
+        Default worker-pool size for sweep execution (``None``/0/1 serial).
+    cache_dir:
+        Directory of the session's on-disk evaluation-cache tier; created on
+        first use and shared with worker processes.
+    scale:
+        Default workload ``scale`` for every scenario declaring one.
+    lru_maxsize:
+        Resize the process-wide evaluation LRU at construction.  The LRU is
+        shared by every session in the process and the new bound persists
+        beyond this session's lifetime -- shrinking it evicts entries other
+        sessions may have warmed, so size it for the whole process, not one
+        quick look.
+    disk_max_bytes:
+        Byte budget of the on-disk tier (LRU eviction above it).  Applies
+        only when ``cache_dir`` is a path: an already-constructed
+        :class:`~repro.engine.DiskEvaluationCache` instance keeps its own
+        budget (the same rule as :class:`~repro.runner.SweepRunner`).
+    mp_context:
+        Multiprocessing start method (``"fork"`` / ``"spawn"``).
+
+    Examples
+    --------
+    >>> session = Session(workers=2, cache_dir=".eval-cache", scale=0.25)
+    >>> result = session.run("fig12-overall")
+    >>> result.payload["vgg16"]["LoAS"]["speedup"]  # doctest: +SKIP
+    >>> for partition in session.stream("fig13-traffic"):
+    ...     print(partition.workload_label, partition.index, partition.total)
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        cache_dir=None,
+        scale: float | None = None,
+        lru_maxsize: int | None = None,
+        disk_max_bytes: int | None = None,
+        mp_context: str | None = None,
+    ):
+        if workers is not None and workers < 0:
+            raise ValueError("workers must be non-negative")
+        self.workers = workers
+        self.cache_dir = cache_dir
+        self.scale = scale
+        self.disk_max_bytes = disk_max_bytes
+        self.mp_context = mp_context
+        if lru_maxsize is not None:
+            default_cache().resize(lru_maxsize)
+        self._disk_tier = DiskEvaluationCache.coerce(cache_dir, max_bytes=disk_max_bytes)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def disk_tier(self) -> DiskEvaluationCache | None:
+        """The session-owned on-disk tier (``None`` without ``cache_dir``)."""
+        return self._disk_tier
+
+    def scenarios(self) -> list[str]:
+        """Sorted names of every registered scenario."""
+        _ensure_registry()
+        return list_scenarios()
+
+    def describe(self, name: str) -> Scenario:
+        """The registered :class:`~repro.runner.Scenario` behind ``name``."""
+        _ensure_registry()
+        return get_scenario(name)
+
+    def validate_run_options(
+        self,
+        scenario: Scenario,
+        *,
+        workers=None,
+        cache_dir=None,
+        stream: bool = False,
+        params: Mapping[str, Any] | None = None,
+    ) -> None:
+        """Raise if the explicit options/params cannot be honoured by ``scenario``.
+
+        The single source of the option/scenario compatibility rules: a
+        bespoke scenario cannot stream (``ValueError``) and only honours an
+        explicitly requested ``workers`` / ``cache_dir`` when its declared
+        defaults carry the option (``TypeError`` otherwise -- silently
+        dropping a requested pool or disk tier would misreport what ran).
+        When ``params`` is given, each key must be accepted by the
+        scenario's ``build``/``run`` callable (declared defaults or a named
+        parameter).  Used by :meth:`run` / :meth:`stream` and pre-flighted
+        by the CLI.
+        """
+        if params:
+            accepted = _accepted_params(scenario)
+            if accepted is not None:
+                for key in params:
+                    if key not in accepted:
+                        raise TypeError(
+                            "scenario %r does not accept parameter %r "
+                            "(accepted: %s)" % (scenario.name, key, sorted(accepted))
+                        )
+        if scenario.run is None:
+            return
+        if stream:
+            raise ValueError(
+                "scenario %r is bespoke (no sweep plan behind it); streaming "
+                "requires a sweep-shaped scenario" % (scenario.name,)
+            )
+        supported = dict(scenario.defaults)
+        for option, value in (("workers", workers), ("cache_dir", cache_dir)):
+            if value is not None and option not in supported:
+                raise TypeError(
+                    "scenario %r does not support %r" % (scenario.name, option)
+                )
+
+    def cache_stats(self) -> dict[str, CacheStats | None]:
+        """``{"lru": ..., "disk": ...}`` snapshots of the session's tiers.
+
+        LRU counters are process-wide; disk counters belong to the session's
+        own tier object.  Pool runs accumulate their counters in the worker
+        processes, so only serial activity is visible here (the disk tier's
+        ``entries`` / ``total_bytes`` are on-disk facts either way).
+        """
+        return {
+            "lru": default_cache().stats(),
+            "disk": self._disk_tier.stats() if self._disk_tier is not None else None,
+        }
+
+    def clear_cache(self, disk: bool = False) -> None:
+        """Reset the process-wide LRU; with ``disk=True`` also the disk tier."""
+        default_cache().clear()
+        if disk and self._disk_tier is not None:
+            self._disk_tier.clear()
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(self, name: str, *, workers: int | None = None, cache_dir=None, **params) -> ScenarioResult:
+        """Execute scenario ``name`` and return its :class:`ScenarioResult`.
+
+        ``params`` override the scenario's declared defaults; ``workers`` /
+        ``cache_dir`` override the session's execution policy for this call.
+        Sweep-shaped scenarios run through :meth:`stream` internally, so
+        batch and streaming results are one code path.
+        """
+        _ensure_registry()
+        scenario = get_scenario(name)
+        if scenario.run is not None:
+            return self._run_bespoke(scenario, workers, cache_dir, params)
+        return self.stream(name, workers=workers, cache_dir=cache_dir, **params).collect()
+
+    def stream(self, name: str, *, workers: int | None = None, cache_dir=None, **params) -> ScenarioStream:
+        """Incremental execution: a :class:`ScenarioStream` over partitions.
+
+        Only sweep-shaped scenarios stream (bespoke ones have no plan to
+        partition -- ``ValueError``).  The merged ``stream.result`` is
+        bit-identical to :meth:`run` for equal arguments, in serial and
+        pooled modes alike.
+        """
+        _ensure_registry()
+        scenario = get_scenario(name)
+        self.validate_run_options(scenario, stream=True, params=params)
+        merged = self._merge_params(scenario, params)
+        plan = scenario.build(**merged)
+        runner = self._make_runner(workers, cache_dir)
+        baselines: dict[str, Any] = {"lru": None, "disk": None}
+
+        def capture() -> None:
+            baselines["lru"] = default_cache().stats()
+            baselines["disk"] = (
+                runner.disk_tier.stats() if runner.disk_tier is not None else None
+            )
+
+        def finalise(sweep_results: SweepResults) -> ScenarioResult:
+            payload = (
+                scenario.shape(sweep_results, **merged)
+                if scenario.shape is not None
+                else sweep_results
+            )
+            # Mirror the executor's own fallback rule: a single-partition
+            # plan runs serially even on a workers>=2 session, and the
+            # record must say so.
+            pooled = runner.workers >= 2 and len(plan.partitions()) > 1
+            provenance = self._provenance(
+                runner.disk_tier,
+                runner.workers,
+                baselines["lru"],
+                baselines["disk"],
+                pooled=pooled,
+            )
+            provenance["seeds"] = tuple(sorted({cell.seed for cell in plan.cells}))
+            provenance["cells"] = len(plan.cells)
+            provenance["partitions"] = len(plan.partitions())
+            return ScenarioResult(
+                scenario=scenario.name,
+                params=dict(merged),
+                payload=payload,
+                provenance=provenance,
+            )
+
+        return ScenarioStream(scenario.name, plan, runner, capture, finalise)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _run_bespoke(self, scenario: Scenario, workers, cache_dir, params) -> ScenarioResult:
+        merged = self._merge_params(scenario, params)
+        self.validate_run_options(
+            scenario, workers=workers, cache_dir=cache_dir, params=params
+        )
+        supported = dict(scenario.defaults)
+        effective_workers = workers if workers is not None else self.workers
+        if effective_workers is not None and "workers" in supported:
+            merged["workers"] = effective_workers
+        if (
+            self.mp_context is not None
+            and "mp_context" in supported
+            and "mp_context" not in params
+        ):
+            merged["mp_context"] = self.mp_context
+        # The scenario receives the session-owned tier *object* (keeping its
+        # byte budget and counters); the recorded params keep the string
+        # path so the ScenarioResult stays JSON-serialisable.
+        tier = self._tier_for(cache_dir)
+        call_kwargs = dict(merged)
+        if tier is not None and "cache_dir" in supported:
+            call_kwargs["cache_dir"] = tier
+            merged["cache_dir"] = str(tier.directory)
+        elif "cache_dir" not in supported:
+            tier = None  # the scenario cannot use it; don't report it ran
+        lru_before = default_cache().stats()
+        disk_before = tier.stats() if tier is not None else None
+        payload = scenario.run(**call_kwargs)
+        # A bespoke scenario's internal sweeps may or may not pool (the
+        # executor falls back to serial for single-partition plans); a
+        # requested pool is the honest upper bound we can report.
+        provenance = self._provenance(
+            tier,
+            merged.get("workers"),
+            lru_before,
+            disk_before,
+            pooled=bool(merged.get("workers")) and merged["workers"] >= 2,
+        )
+        if "seed" in merged:
+            provenance["seeds"] = (merged["seed"],)
+        return ScenarioResult(
+            scenario=scenario.name,
+            params=dict(merged),
+            payload=payload,
+            provenance=provenance,
+        )
+
+    def _merge_params(self, scenario: Scenario, params: Mapping[str, Any]) -> dict[str, Any]:
+        merged = dict(scenario.defaults)
+        if self.scale is not None and "scale" in merged and "scale" not in params:
+            merged["scale"] = self.scale
+        merged.update(params)
+        return merged
+
+    def _make_runner(self, workers, cache_dir) -> SweepRunner:
+        tier = self._tier_for(cache_dir)
+        return SweepRunner(
+            workers=workers if workers is not None else self.workers,
+            cache_dir=tier,
+            mp_context=self.mp_context,
+        )
+
+    def _tier_for(self, cache_dir) -> DiskEvaluationCache | None:
+        if cache_dir is None:
+            return self._disk_tier
+        if isinstance(cache_dir, DiskEvaluationCache):
+            return cache_dir
+        if self._disk_tier is not None and _same_directory(
+            self._disk_tier.directory, cache_dir
+        ):
+            return self._disk_tier
+        # A per-call override names a directory the session does not own:
+        # the session's disk_max_bytes budget must not evict entries some
+        # other tool cached there.
+        return DiskEvaluationCache(cache_dir)
+
+    def _provenance(
+        self, tier, workers, lru_before, disk_before, pooled: bool = False
+    ) -> dict[str, Any]:
+        lru_after = default_cache().stats()
+        cache: dict[str, Any] = {
+            # Counters are per-process: a pooled run evaluates in worker
+            # processes whose counters never reach the parent, so its deltas
+            # here are legitimately ~0.  The scope marker keeps records
+            # honest instead of letting zeros read as "fully cache-served".
+            "scope": (
+                "parent-process only (evaluation may have run in worker "
+                "processes)"
+                if pooled
+                else "in-process"
+            ),
+            "lru_hits": lru_after.hits - lru_before.hits,
+            "lru_misses": lru_after.misses - lru_before.misses,
+            "lru_disk_hits": lru_after.disk_hits - lru_before.disk_hits,
+            "lru_evictions": lru_after.evictions - lru_before.evictions,
+        }
+        if tier is not None and disk_before is not None:
+            disk_after = tier.stats()
+            cache["disk_hits"] = disk_after.hits - disk_before.hits
+            cache["disk_misses"] = disk_after.misses - disk_before.misses
+            cache["disk_stores"] = disk_after.stores - disk_before.stores
+            cache["disk_entries"] = disk_after.entries
+        provenance: dict[str, Any] = {
+            "package_version": _package_version(),
+            "workers": workers or None,
+            "cache_dir": str(tier.directory) if tier is not None else None,
+            "cache": cache,
+        }
+        return provenance
+
+
+_DEFAULT_SESSION: Session | None = None
+
+
+def default_session() -> Session:
+    """The module-level :class:`Session` behind the legacy ``run_*`` shims.
+
+    Created lazily with all-default policy (serial, no disk tier, paper-scale
+    workloads) and deliberately not configurable: the shims must keep their
+    historical behaviour.  For any other policy, construct your own
+    :class:`Session` and call it directly -- a session you create does *not*
+    become the default the shims use.
+    """
+    global _DEFAULT_SESSION
+    if _DEFAULT_SESSION is None:
+        _DEFAULT_SESSION = Session()
+    return _DEFAULT_SESSION

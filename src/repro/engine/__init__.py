@@ -20,6 +20,7 @@ top of the engine.
 """
 
 from .cache import (
+    CacheStats,
     WorkloadEvaluationCache,
     clear_default_cache,
     default_cache,
@@ -32,6 +33,7 @@ from .statistics import LayerStatistics
 
 __all__ = [
     "AnnLayerEvaluation",
+    "CacheStats",
     "DiskEvaluationCache",
     "LayerEvaluation",
     "LayerStatistics",

@@ -43,12 +43,81 @@ from ..snn.workloads import LayerWorkload
 from .evaluation import LayerEvaluation
 
 __all__ = [
+    "ATTACHED_TIER",
+    "CacheStats",
     "WorkloadEvaluationCache",
     "default_cache",
     "clear_default_cache",
     "workload_fingerprint",
     "generator_fingerprint",
 ]
+
+#: Sentinel for :meth:`WorkloadEvaluationCache.evaluate`'s ``disk_tier``
+#: parameter: consult whatever tier is attached to the cache (the default).
+#: Callers that own a tier pass it explicitly instead of attaching it to the
+#: process-wide cache -- an explicit tier is thread-safe and cannot leak
+#: into unrelated runs.
+ATTACHED_TIER = object()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counter snapshot of one cache tier.
+
+    Shared by the in-memory LRU (:class:`WorkloadEvaluationCache`) and the
+    on-disk tier (:class:`~repro.engine.disk_cache.DiskEvaluationCache`);
+    fields that do not apply to a tier keep their defaults.
+
+    Attributes
+    ----------
+    hits / misses:
+        Lookups served from / absent from this tier since the last reset.
+    evictions:
+        Entries dropped to respect the tier's capacity bound (the LRU's
+        ``maxsize``, the disk tier's ``max_bytes``).
+    entries:
+        Entries currently held.
+    disk_hits:
+        LRU only -- lookups absent from the LRU but served by the disk
+        tier.  Counted separately from ``misses`` (which only counts full
+        misses that regenerated tensors), so total lookups are
+        ``hits + disk_hits + misses``.
+    maxsize:
+        LRU only -- the entry-count bound.
+    stores:
+        Disk tier only -- entries published since the last reset.
+    corrupt_dropped:
+        Disk tier only -- torn/corrupt entries deleted on load.
+    total_bytes:
+        Disk tier only -- sum of entry-file sizes currently on disk.
+    """
+
+    hits: int
+    misses: int
+    evictions: int
+    entries: int
+    disk_hits: int = 0
+    maxsize: int | None = None
+    stores: int = 0
+    corrupt_dropped: int = 0
+    total_bytes: int | None = None
+
+    def as_dict(self) -> dict[str, int]:
+        """The populated counters as a plain dict (``None`` fields omitted)."""
+        out = {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": self.entries,
+        }
+        if self.maxsize is not None:
+            out["disk_hits"] = self.disk_hits
+            out["maxsize"] = self.maxsize
+        if self.total_bytes is not None:
+            out["stores"] = self.stores
+            out["corrupt_dropped"] = self.corrupt_dropped
+            out["total_bytes"] = self.total_bytes
+        return out
 
 
 def _freeze(value):
@@ -121,6 +190,7 @@ class WorkloadEvaluationCache:
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -142,29 +212,53 @@ class WorkloadEvaluationCache:
             self.hits = 0
             self.misses = 0
             self.disk_hits = 0
+            self.evictions = 0
+
+    def resize(self, maxsize: int) -> None:
+        """Change the entry bound, evicting least-recently-used overflow now."""
+        if maxsize < 1:
+            raise ValueError("maxsize must be at least 1")
+        with self._lock:
+            self.maxsize = maxsize
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def stats(self) -> "CacheStats":
+        """Snapshot of the hit/miss/eviction counters and current occupancy."""
+        with self._lock:
+            return CacheStats(
+                hits=self.hits,
+                misses=self.misses,
+                evictions=self.evictions,
+                entries=len(self._entries),
+                disk_hits=self.disk_hits,
+                maxsize=self.maxsize,
+            )
 
     def cache_info(self) -> dict[str, int]:
-        """Current ``{hits, misses, disk_hits, entries, maxsize}`` counters."""
-        with self._lock:
-            return {
-                "hits": self.hits,
-                "misses": self.misses,
-                "disk_hits": self.disk_hits,
-                "entries": len(self._entries),
-                "maxsize": self.maxsize,
-            }
+        """:meth:`stats` as a plain dict (hits/misses/evictions/occupancy)."""
+        return self.stats().as_dict()
 
     def evaluate(
         self,
         workload: LayerWorkload,
         rng: np.random.Generator,
         finetuned: bool = False,
+        disk_tier=ATTACHED_TIER,
     ) -> LayerEvaluation:
         """Return the (possibly cached) evaluation of ``workload``.
 
         On a cache hit the generator is advanced to the state it would have
         reached by regenerating, so callers sharing one generator across a
         sequence of layers observe bit-identical randomness either way.
+
+        ``disk_tier`` selects the on-disk tier for this call: the default
+        :data:`ATTACHED_TIER` uses whatever :meth:`attach_disk_tier`
+        installed, an explicit :class:`~repro.engine.DiskEvaluationCache`
+        uses that tier without touching the attached one (so concurrent
+        callers with different tiers cannot interfere), and ``None``
+        disables the tier for this call.
         """
         try:
             key = (workload_fingerprint(workload, finetuned), generator_fingerprint(rng))
@@ -174,14 +268,15 @@ class WorkloadEvaluationCache:
             spikes, weights = workload.generate(rng=rng, finetuned=finetuned)
             return LayerEvaluation(spikes, weights)
         with self._lock:
+            tier = self.disk_tier if disk_tier is ATTACHED_TIER else disk_tier
             entry = self._entries.get(key)
             if entry is not None:
                 self.hits += 1
                 self._entries.move_to_end(key)
                 rng.bit_generator.state = entry.state_after
                 return entry.evaluation
-            if self.disk_tier is not None:
-                loaded = self.disk_tier.load(key)
+            if tier is not None:
+                loaded = tier.load(key)
                 if loaded is not None:
                     spikes, weights, state_after = loaded
                     spikes.setflags(write=False)
@@ -197,14 +292,15 @@ class WorkloadEvaluationCache:
             weights.setflags(write=False)
             entry = _CacheEntry(LayerEvaluation(spikes, weights), rng.bit_generator.state)
             self._insert(key, entry)
-            if self.disk_tier is not None:
-                self.disk_tier.store(key, spikes, weights, entry.state_after)
+            if tier is not None:
+                tier.store(key, spikes, weights, entry.state_after)
             return entry.evaluation
 
     def _insert(self, key: tuple, entry: _CacheEntry) -> None:
         self._entries[key] = entry
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
+            self.evictions += 1
 
 
 _DEFAULT_CACHE = WorkloadEvaluationCache()

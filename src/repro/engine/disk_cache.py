@@ -37,6 +37,8 @@ from pathlib import Path
 
 import numpy as np
 
+from .cache import CacheStats
+
 __all__ = ["DiskEvaluationCache"]
 
 _ENTRY_SUFFIX = ".npz"
@@ -89,13 +91,30 @@ class DiskEvaluationCache:
     def __init__(self, directory: str | os.PathLike, max_bytes: int | None = None):
         if max_bytes is not None and max_bytes <= 0:
             raise ValueError("max_bytes must be positive when given")
+        # The directory is created lazily on the first store: constructing a
+        # tier (or reading its stats) is a read-only act, so e.g. a CLI
+        # `cache stats --cache-dir typo` does not litter the filesystem.
         self.directory = Path(directory)
-        self.directory.mkdir(parents=True, exist_ok=True)
         self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
         self.stores = 0
         self.corrupt_dropped = 0
+        self.evictions = 0
+
+    @classmethod
+    def coerce(cls, cache_dir, max_bytes: int | None = None) -> "DiskEvaluationCache | None":
+        """The shared ``cache_dir`` triage: ``None`` stays ``None``, an
+        existing tier keeps its own budget and counters, and a path builds a
+        fresh tier under ``max_bytes``.  Used by every surface that accepts
+        a ``cache_dir`` (``SweepRunner``, ``repro.api.Session``) so the
+        rules cannot drift apart.
+        """
+        if cache_dir is None:
+            return None
+        if isinstance(cache_dir, cls):
+            return cache_dir
+        return cls(cache_dir, max_bytes=max_bytes)
 
     # ------------------------------------------------------------------ #
     # Addressing
@@ -145,11 +164,28 @@ class DiskEvaluationCache:
             pass
         return spikes, weights, state
 
+    # ------------------------------------------------------------------ #
+    # Path protocol
+    # ------------------------------------------------------------------ #
+    def __fspath__(self) -> str:
+        """The tier *is* its directory to path-consuming code.
+
+        Callers historically received ``cache_dir`` as a plain path; code
+        that does ``Path(cache_dir)`` / ``os.path.join(cache_dir, ...)``
+        keeps working when handed the tier object itself (as
+        :class:`repro.api.Session` does to preserve its counters).
+        """
+        return str(self.directory)
+
+    def __str__(self) -> str:
+        return str(self.directory)
+
     def store(self, key, spikes: np.ndarray, weights: np.ndarray, state_after: dict) -> None:
         """Atomically publish an entry for ``key`` (no-op if present)."""
         path = self.entry_path(key)
         if path.exists():
             return
+        self.directory.mkdir(parents=True, exist_ok=True)
         state_payload = json.dumps(_encode_state(state_after)).encode("utf-8")
         fd, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
         try:
@@ -196,6 +232,7 @@ class DiskEvaluationCache:
                 path.unlink()
             except OSError:
                 continue
+            self.evictions += 1
             total -= size
 
     def total_bytes(self) -> int:
@@ -222,13 +259,33 @@ class DiskEvaluationCache:
         self.misses = 0
         self.stores = 0
         self.corrupt_dropped = 0
+        self.evictions = 0
 
     def cache_info(self) -> dict[str, int]:
-        """Current ``{hits, misses, stores, corrupt_dropped, entries}``."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "stores": self.stores,
-            "corrupt_dropped": self.corrupt_dropped,
-            "entries": len(self),
-        }
+        """:meth:`stats` as a plain dict (counters plus on-disk occupancy)."""
+        return self.stats().as_dict()
+
+    def stats(self) -> CacheStats:
+        """Snapshot of the counters plus on-disk occupancy.
+
+        Entry count and byte total come from one directory walk (stats are
+        read per run for provenance; two scans would double the cost on
+        large tiers).
+        """
+        entries = 0
+        total = 0
+        for path in self._entry_files():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+            entries += 1
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            entries=entries,
+            stores=self.stores,
+            corrupt_dropped=self.corrupt_dropped,
+            total_bytes=total,
+        )

@@ -25,14 +25,18 @@ and benchmarks; ``scale=1.0`` reproduces the paper-sized workloads.
 
 Each experiment is also a registered *scenario*: importing this package
 populates the :mod:`repro.runner` registry, after which any figure or table
-runs through one uniform entry point::
+runs through the public API::
 
-    from repro.experiments import list_scenarios, run_scenario
-    run_scenario("fig13-traffic", scale=0.25, workers=2)
+    from repro.api import Session
+    session = Session(workers=2, scale=0.25)
+    result = session.run("fig13-traffic")        # ScenarioResult
+    for partition in session.stream("fig13-traffic"):
+        ...                                      # PartitionResult as it lands
 
-Sweep-shaped scenarios accept ``workers`` (process-pool size; results are
-bit-identical to serial) and ``cache_dir`` (shared on-disk evaluation-cache
-tier) in addition to their declared parameters.
+The ``run_*`` functions in this package (and ``run_scenario``) predate the
+:class:`~repro.api.Session` façade; they remain as deprecation shims that
+forward to the module-level default session and return the unchanged
+payloads.
 """
 
 from .ablations import format_fig5, format_fig16, format_fig17, run_fig5, run_fig16, run_fig17

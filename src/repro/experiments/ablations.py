@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..api.session import _legacy_shim_warning, default_session
 from ..arch.area import tppe_scaling
 from ..metrics.report import format_series, format_table
 from ..runner import (
@@ -26,7 +27,6 @@ from ..runner import (
     SweepPlan,
     WorkloadSpec,
     register_scenario,
-    run_scenario,
 )
 from ..snn.workloads import TABLE2_LAYER_PROFILES, get_layer_workload
 from ..sparse.matrix import (
@@ -94,21 +94,25 @@ def run_fig5(
     seed: int = 1,
     workers: int | None = None,
 ) -> dict[str, dict[str, float]]:
-    """Off-chip psum traffic (KB) of GoSPA-SNN at T = 1 and T = 4 (Figure 5)."""
-    return run_scenario(
+    """Off-chip psum traffic (KB) of GoSPA-SNN at T = 1 and T = 4 (Figure 5).
+
+    .. deprecated:: Shim over ``Session.run("fig5-psum-traffic", ...)``.
+    """
+    _legacy_shim_warning("run_fig5", "fig5-psum-traffic")
+    return default_session().run(
         "fig5-psum-traffic", workers=workers, layers=layers, scale=scale, seed=seed
-    )
+    ).payload
 
 
 def format_fig5(scale: float = 0.5, seed: int = 1) -> str:
     """ASCII rendition of Figure 5."""
     return format_series(
-        run_fig5(scale=scale, seed=seed),
+        default_session().run("fig5-psum-traffic", scale=scale, seed=seed).payload,
         title="Figure 5: off-chip psum traffic (KB) on GoSPA-SNN",
     )
 
 
-def run_fig16(
+def _fig16_temporal(
     timesteps: tuple[int, ...] = (4, 8, 16),
     scale: float = 0.25,
     seed: int = 0,
@@ -159,15 +163,33 @@ register_scenario(
     Scenario(
         name="fig16-temporal",
         description="Figure 16: TPPE scaling + silent-neuron ratio vs timesteps",
-        run=run_fig16,
+        run=_fig16_temporal,
         defaults=(("timesteps", (4, 8, 16)), ("scale", 0.25), ("seed", 0)),
     )
 )
 
 
+def run_fig16(
+    timesteps: tuple[int, ...] = (4, 8, 16),
+    scale: float = 0.25,
+    seed: int = 0,
+) -> dict[str, dict[str, float]]:
+    """TPPE scaling and silent-neuron ratio versus timesteps (Figure 16).
+
+    .. deprecated:: Shim over ``Session.run("fig16-temporal", ...)``.
+    """
+    _legacy_shim_warning("run_fig16", "fig16-temporal")
+    return default_session().run(
+        "fig16-temporal", timesteps=timesteps, scale=scale, seed=seed
+    ).payload
+
+
 def format_fig16(scale: float = 0.25, seed: int = 0) -> str:
     """ASCII rendition of Figure 16."""
-    return format_series(run_fig16(scale=scale, seed=seed), title="Figure 16: temporal scalability")
+    return format_series(
+        default_session().run("fig16-temporal", scale=scale, seed=seed).payload,
+        title="Figure 16: temporal scalability",
+    )
 
 
 def fig17_plan(
@@ -273,20 +295,24 @@ def run_fig17(
     weight_sparsities: tuple[float, ...] = (0.982, 0.684, 0.25),
     workers: int | None = None,
 ) -> dict[str, dict[str, float]]:
-    """LoAS scalability sweeps (Figure 17): weight sparsity, timesteps, layer size."""
-    return run_scenario(
+    """LoAS scalability sweeps (Figure 17): weight sparsity, timesteps, layer size.
+
+    .. deprecated:: Shim over ``Session.run("fig17-scalability", ...)``.
+    """
+    _legacy_shim_warning("run_fig17", "fig17-scalability")
+    return default_session().run(
         "fig17-scalability",
         workers=workers,
         scale=scale,
         seed=seed,
         timesteps=timesteps,
         weight_sparsities=weight_sparsities,
-    )
+    ).payload
 
 
 def format_fig17(scale: float = 0.25, seed: int = 1) -> str:
     """ASCII rendition of Figure 17."""
-    data = run_fig17(scale=scale, seed=seed)
+    data = default_session().run("fig17-scalability", scale=scale, seed=seed).payload
     blocks = []
     for sweep, values in data.items():
         rows = [[label, value] for label, value in values.items()]

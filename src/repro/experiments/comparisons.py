@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..api.session import _legacy_shim_warning, default_session
 from ..baselines import GammaANN, SparTenANN
 from ..metrics.report import format_series, format_table
 from ..runner import (
@@ -27,7 +28,6 @@ from ..runner import (
     WorkloadSpec,
     register_scenario,
     run_ann_network,
-    run_scenario,
 )
 from ..snn.preprocessing import finetuned_preprocessing_experiment
 from ..snn.training import (
@@ -48,7 +48,7 @@ __all__ = [
 ]
 
 
-def run_fig11(
+def _fig11_preprocessing(
     num_samples: int = 400,
     num_features: int = 32,
     num_classes: int = 4,
@@ -92,25 +92,52 @@ register_scenario(
     Scenario(
         name="fig11-preprocessing",
         description="Figure 11: fine-tuned preprocessing accuracy trajectory",
-        run=run_fig11,
+        run=_fig11_preprocessing,
         defaults=(("seed", 0),),
     )
 )
 
 
+def run_fig11(
+    num_samples: int = 400,
+    num_features: int = 32,
+    num_classes: int = 4,
+    hidden: int = 64,
+    epochs: int = 12,
+    finetune_epochs: tuple[int, ...] = (1, 5, 10),
+    seed: int = 0,
+) -> dict[str, float]:
+    """Accuracy before masking, after masking and after fine-tuning (Figure 11).
+
+    .. deprecated:: Shim over ``Session.run("fig11-preprocessing", ...)``.
+    """
+    _legacy_shim_warning("run_fig11", "fig11-preprocessing")
+    return default_session().run(
+        "fig11-preprocessing",
+        num_samples=num_samples,
+        num_features=num_features,
+        num_classes=num_classes,
+        hidden=hidden,
+        epochs=epochs,
+        finetune_epochs=finetune_epochs,
+        seed=seed,
+    ).payload
+
+
 def format_fig11(seed: int = 0) -> str:
     """ASCII rendition of Figure 11."""
-    data = run_fig11(seed=seed)
+    data = default_session().run("fig11-preprocessing", seed=seed).payload
     rows = [[key, value] for key, value in data.items()]
     return format_table(["Stage", "Accuracy"], rows, title="Figure 11: fine-tuned preprocessing accuracy")
 
 
-def run_fig18(
+def _fig18_snn_vs_ann(
     network: str = "vgg16",
     scale: float = 1.0,
     seed: int = 1,
     workers: int | None = None,
     cache_dir=None,
+    mp_context: str | None = None,
 ) -> dict[str, dict[str, float]]:
     """Dual-sparse SNN (LoAS) versus dual-sparse ANN (SparTen / Gamma), Figure 18."""
     snn_network = scaled_network(network, scale)
@@ -120,7 +147,8 @@ def run_fig18(
         (LOAS_FINETUNED,),
         seeds=(seed,),
     )
-    loas = next(iter(SweepRunner(workers=workers, cache_dir=cache_dir).run(plan)))[1]
+    runner = SweepRunner(workers=workers, cache_dir=cache_dir, mp_context=mp_context)
+    loas = next(iter(runner.run(plan)))[1]
 
     # One shared ANN evaluation per layer: both baselines consume the same
     # masks / matches / ReLU outputs (each simulator previously regenerated
@@ -146,21 +174,47 @@ register_scenario(
     Scenario(
         name="fig18-snn-vs-ann",
         description="Figure 18: dual-sparse SNN (LoAS) vs dual-sparse ANN baselines",
-        run=run_fig18,
+        run=_fig18_snn_vs_ann,
         defaults=(
             ("network", "vgg16"),
             ("scale", 1.0),
             ("seed", 1),
             ("workers", None),
             ("cache_dir", None),
+            ("mp_context", None),
         ),
     )
 )
 
 
+def run_fig18(
+    network: str = "vgg16",
+    scale: float = 1.0,
+    seed: int = 1,
+    workers: int | None = None,
+    cache_dir=None,
+) -> dict[str, dict[str, float]]:
+    """Dual-sparse SNN (LoAS) versus dual-sparse ANN (SparTen / Gamma), Figure 18.
+
+    .. deprecated:: Shim over ``Session.run("fig18-snn-vs-ann", ...)``.
+    """
+    _legacy_shim_warning("run_fig18", "fig18-snn-vs-ann")
+    return default_session().run(
+        "fig18-snn-vs-ann",
+        workers=workers,
+        cache_dir=cache_dir,
+        network=network,
+        scale=scale,
+        seed=seed,
+    ).payload
+
+
 def format_fig18(scale: float = 0.25, seed: int = 1) -> str:
     """ASCII rendition of Figure 18."""
-    return format_series(run_fig18(scale=scale, seed=seed), title="Figure 18: dual-sparse SNN vs dual-sparse ANN (normalised to LoAS)")
+    return format_series(
+        default_session().run("fig18-snn-vs-ann", scale=scale, seed=seed).payload,
+        title="Figure 18: dual-sparse SNN vs dual-sparse ANN (normalised to LoAS)",
+    )
 
 
 def fig19_plan(
@@ -208,12 +262,19 @@ def run_fig19(
     seed: int = 1,
     workers: int | None = None,
 ) -> dict[str, dict[str, float]]:
-    """LoAS versus the dense SNN accelerators PTB and Stellar (Figure 19)."""
-    return run_scenario(
+    """LoAS versus the dense SNN accelerators PTB and Stellar (Figure 19).
+
+    .. deprecated:: Shim over ``Session.run("fig19-dense-baselines", ...)``.
+    """
+    _legacy_shim_warning("run_fig19", "fig19-dense-baselines")
+    return default_session().run(
         "fig19-dense-baselines", workers=workers, network=network, scale=scale, seed=seed
-    )
+    ).payload
 
 
 def format_fig19(scale: float = 0.25, seed: int = 1) -> str:
     """ASCII rendition of Figure 19."""
-    return format_series(run_fig19(scale=scale, seed=seed), title="Figure 19: LoAS vs dense SNN accelerators (normalised to LoAS)")
+    return format_series(
+        default_session().run("fig19-dense-baselines", scale=scale, seed=seed).payload,
+        title="Figure 19: LoAS vs dense SNN accelerators (normalised to LoAS)",
+    )

@@ -15,8 +15,9 @@ through :func:`repro.runner.run_scenario`.
 
 from __future__ import annotations
 
+from ..api.session import _legacy_shim_warning, default_session
 from ..metrics.report import format_series, format_sweep
-from ..runner import Scenario, register_scenario, run_scenario
+from ..runner import Scenario, register_scenario
 from .sweeps import (
     DEFAULT_LAYERS,
     DEFAULT_NETWORKS,
@@ -126,15 +127,19 @@ def run_fig12(
     seed: int = 1,
     workers: int | None = None,
 ) -> dict[str, dict[str, dict[str, float]]]:
-    """Speedup and energy efficiency normalised to SparTen-SNN (Figure 12)."""
-    return run_scenario(
+    """Speedup and energy efficiency normalised to SparTen-SNN (Figure 12).
+
+    .. deprecated:: Shim over ``Session.run("fig12-overall", ...)``.
+    """
+    _legacy_shim_warning("run_fig12", "fig12-overall")
+    return default_session().run(
         "fig12-overall", workers=workers, networks=networks, scale=scale, seed=seed
-    )
+    ).payload
 
 
 def format_fig12(scale: float = 0.25, seed: int = 1) -> str:
     """ASCII rendition of Figure 12."""
-    data = run_fig12(scale=scale, seed=seed)
+    data = default_session().run("fig12-overall", scale=scale, seed=seed).payload
     speed = {
         network: {accel: stats["speedup"] for accel, stats in per.items()}
         for network, per in data.items()
@@ -156,16 +161,20 @@ def run_fig13(
     seed: int = 1,
     workers: int | None = None,
 ) -> dict[str, dict[str, dict[str, float]]]:
-    """Off-chip (KB) and on-chip (MB) traffic per accelerator (Figure 13)."""
-    return run_scenario(
+    """Off-chip (KB) and on-chip (MB) traffic per accelerator (Figure 13).
+
+    .. deprecated:: Shim over ``Session.run("fig13-traffic", ...)``.
+    """
+    _legacy_shim_warning("run_fig13", "fig13-traffic")
+    return default_session().run(
         "fig13-traffic", workers=workers, networks=networks, scale=scale, seed=seed
-    )
+    ).payload
 
 
 def format_fig13(scale: float = 0.25, seed: int = 1) -> str:
     """ASCII rendition of Figure 13."""
     return format_sweep(
-        run_fig13(scale=scale, seed=seed),
+        default_session().run("fig13-traffic", scale=scale, seed=seed).payload,
         columns=[("Off-chip (KB)", "offchip_kb"), ("On-chip (MB)", "onchip_mb")],
         title="Figure 13: memory traffic",
     )
@@ -180,16 +189,19 @@ def run_fig14(
     """Off-chip traffic breakdown and SRAM miss rate per layer (Figure 14).
 
     Everything is normalised to LoAS, as in the paper.
+
+    .. deprecated:: Shim over ``Session.run("fig14-breakdown", ...)``.
     """
-    return run_scenario(
+    _legacy_shim_warning("run_fig14", "fig14-breakdown")
+    return default_session().run(
         "fig14-breakdown", workers=workers, layers=layers, scale=scale, seed=seed
-    )
+    ).payload
 
 
 def format_fig14(scale: float = 0.5, seed: int = 1) -> str:
     """ASCII rendition of Figure 14."""
     return format_sweep(
-        run_fig14(scale=scale, seed=seed),
+        default_session().run("fig14-breakdown", scale=scale, seed=seed).payload,
         columns=[
             ("Input", "input"),
             ("Weight", "weight"),

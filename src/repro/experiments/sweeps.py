@@ -1,22 +1,23 @@
 """Shared sweep declarations for the experiment modules.
 
-Every experiment module exposes a ``run(...)`` function returning a plain
-dictionary of results plus a ``format_*`` helper producing the ASCII table
-printed by the benchmark harness.  The sweeps themselves are no longer
-hand-rolled loops: this module declares them as :class:`SweepPlan` data and
-delegates execution to the :class:`~repro.runner.SweepRunner`, which batches
-each network walk layer-major (one evaluation per layer drives every
-simulator) and can spread independent cells over a worker pool
-(``workers=2`` and up).
+This module declares the network / representative-layer sweeps as
+:class:`SweepPlan` data and registers them as the ``"networks"`` and
+``"layers"`` scenarios; execution happens through
+:class:`repro.api.Session` (which batches each network walk layer-major --
+one evaluation per layer drives every simulator -- and can spread
+independent cells over a worker pool).  The ``run_networks`` /
+``run_layers`` functions remain as deprecation shims over the default
+session, returning the unchanged ``{workload: {accelerator: result}}``
+payloads.
 """
 
 from __future__ import annotations
 
+from ..api.session import _legacy_shim_warning, default_session
 from ..runner import (
     Scenario,
     SimulatorSpec,
     SweepPlan,
-    SweepRunner,
     WorkloadSpec,
     register_scenario,
 )
@@ -97,17 +98,19 @@ def run_networks(
 ):
     """Simulate every accelerator on every full-network workload.
 
-    Returns ``{network: {accelerator: result}}``; when ``include_finetuned``
-    is set an extra ``"LoAS-FT"`` entry runs LoAS with the fine-tuned
-    preprocessing.  ``scale`` shrinks the layer dimensions proportionally for
-    quick runs (sparsity profiles are preserved).  ``workers >= 2`` spreads
-    the per-network cells over a process pool; results are bit-identical to
-    the serial path.
+    .. deprecated:: Shim over ``Session.run("networks", ...)``; the returned
+        ``{network: {accelerator: result}}`` payload is unchanged.
     """
-    plan = network_sweep_plan(
-        networks, scale=scale, seed=seed, include_finetuned=include_finetuned, config=config
-    )
-    return SweepRunner(workers=workers).run(plan).nested()
+    _legacy_shim_warning("run_networks", "networks")
+    return default_session().run(
+        "networks",
+        workers=workers,
+        networks=networks,
+        scale=scale,
+        seed=seed,
+        include_finetuned=include_finetuned,
+        config=config,
+    ).payload
 
 
 def run_layers(
@@ -117,9 +120,15 @@ def run_layers(
     config=None,
     workers: int | None = None,
 ):
-    """Simulate every accelerator on every representative layer workload."""
-    plan = layer_sweep_plan(layers, scale=scale, seed=seed, config=config)
-    return SweepRunner(workers=workers).run(plan).nested()
+    """Simulate every accelerator on every representative layer workload.
+
+    .. deprecated:: Shim over ``Session.run("layers", ...)``; the returned
+        payload is unchanged.
+    """
+    _legacy_shim_warning("run_layers", "layers")
+    return default_session().run(
+        "layers", workers=workers, layers=layers, scale=scale, seed=seed, config=config
+    ).payload
 
 
 def scaled_network(name: str, scale: float) -> NetworkWorkload:

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..api.session import _legacy_shim_warning, default_session
 from ..arch.area import loas_system_cost, system_power_breakdown, tppe_power_breakdown, TPPE_COMPONENTS
 from ..baselines.capabilities import TABLE1_CAPABILITIES
 from ..metrics.report import format_table
@@ -34,7 +35,7 @@ __all__ = [
 # --------------------------------------------------------------------- #
 # Table I -- accelerator capability comparison
 # --------------------------------------------------------------------- #
-def run_table1() -> dict[str, dict[str, object]]:
+def _table1_capabilities() -> dict[str, dict[str, object]]:
     """Capability matrix of SpinalFlow, PTB, Stellar and LoAS."""
     return {
         name: {
@@ -51,7 +52,7 @@ def format_table1() -> str:
     """ASCII rendition of Table I."""
     rows = [
         [name, "yes" if row["spike_sparsity"] else "no", "yes" if row["weight_sparsity"] else "no", row["parallelism"], row["neuron_model"]]
-        for name, row in run_table1().items()
+        for name, row in _table1_capabilities().items()
     ]
     return format_table(
         ["Accelerator", "Spike sparsity", "Weight sparsity", "Parallelism", "Neuron"],
@@ -63,7 +64,7 @@ def format_table1() -> str:
 # --------------------------------------------------------------------- #
 # Table II -- workload sparsity statistics
 # --------------------------------------------------------------------- #
-def run_table2(scale: float = 0.25, seed: int = 0) -> dict[str, dict[str, float]]:
+def _table2_workloads(scale: float = 0.25, seed: int = 0) -> dict[str, dict[str, float]]:
     """Measure the generated workloads against the published Table II numbers.
 
     For each representative layer the spike tensor is generated at ``scale``
@@ -98,7 +99,7 @@ def run_table2(scale: float = 0.25, seed: int = 0) -> dict[str, dict[str, float]
 
 def format_table2(scale: float = 0.25, seed: int = 0) -> str:
     """ASCII rendition of Table II (published vs measured)."""
-    data = run_table2(scale=scale, seed=seed)
+    data = _table2_workloads(scale=scale, seed=seed)
     rows = []
     for name, stats in data.items():
         rows.append(
@@ -122,7 +123,7 @@ def format_table2(scale: float = 0.25, seed: int = 0) -> str:
 # --------------------------------------------------------------------- #
 # Table IV / Figure 15 -- area and power breakdown
 # --------------------------------------------------------------------- #
-def run_table4(num_tppes: int = 16, timesteps: int = 4) -> dict[str, dict[str, float]]:
+def _table4_area_power(num_tppes: int = 16, timesteps: int = 4) -> dict[str, dict[str, float]]:
     """System and TPPE area / power breakdown plus the Figure 15 fractions."""
     system = loas_system_cost(num_tppes=num_tppes, timesteps=timesteps)
     return {
@@ -137,7 +138,7 @@ def run_table4(num_tppes: int = 16, timesteps: int = 4) -> dict[str, dict[str, f
 
 def format_table4() -> str:
     """ASCII rendition of Table IV and the Figure 15 power breakup."""
-    data = run_table4()
+    data = _table4_area_power()
     rows = [
         [name, data["system_area_mm2"][name], data["system_power_mw"][name]]
         for name in data["system_area_mm2"]
@@ -164,7 +165,7 @@ register_scenario(
     Scenario(
         name="table1-capabilities",
         description="Table I: accelerator capability matrix",
-        run=run_table1,
+        run=_table1_capabilities,
     )
 )
 
@@ -172,7 +173,7 @@ register_scenario(
     Scenario(
         name="table2-workloads",
         description="Table II: generated-workload sparsity vs published numbers",
-        run=run_table2,
+        run=_table2_workloads,
         defaults=(("scale", 0.25), ("seed", 0)),
     )
 )
@@ -181,7 +182,35 @@ register_scenario(
     Scenario(
         name="table4-area-power",
         description="Table IV / Figure 15: area and power breakdown",
-        run=run_table4,
+        run=_table4_area_power,
         defaults=(("num_tppes", 16), ("timesteps", 4)),
     )
 )
+
+def run_table1() -> dict[str, dict[str, object]]:
+    """Capability matrix of SpinalFlow, PTB, Stellar and LoAS (Table I).
+
+    .. deprecated:: Shim over ``Session.run("table1-capabilities")``.
+    """
+    _legacy_shim_warning("run_table1", "table1-capabilities")
+    return default_session().run("table1-capabilities").payload
+
+
+def run_table2(scale: float = 0.25, seed: int = 0) -> dict[str, dict[str, float]]:
+    """Generated-workload sparsity vs the published Table II numbers.
+
+    .. deprecated:: Shim over ``Session.run("table2-workloads", ...)``.
+    """
+    _legacy_shim_warning("run_table2", "table2-workloads")
+    return default_session().run("table2-workloads", scale=scale, seed=seed).payload
+
+
+def run_table4(num_tppes: int = 16, timesteps: int = 4) -> dict[str, dict[str, float]]:
+    """System and TPPE area / power breakdown plus the Figure 15 fractions.
+
+    .. deprecated:: Shim over ``Session.run("table4-area-power", ...)``.
+    """
+    _legacy_shim_warning("run_table4", "table4-area-power")
+    return default_session().run(
+        "table4-area-power", num_tppes=num_tppes, timesteps=timesteps
+    ).payload

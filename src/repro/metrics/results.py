@@ -87,6 +87,42 @@ class SimulationResult:
         self.ops[category] = self.ops.get(category, 0.0) + count
 
     # ------------------------------------------------------------------ #
+    # Serialisation (used by the repro.api JSON schema)
+    # ------------------------------------------------------------------ #
+    def as_dict(self) -> dict:
+        """Plain-data copy of every field (ledgers flattened to dicts)."""
+        return {
+            "accelerator": self.accelerator,
+            "workload": self.workload,
+            "cycles": self.cycles,
+            "compute_cycles": self.compute_cycles,
+            "memory_cycles": self.memory_cycles,
+            "dram": self.dram.as_dict(),
+            "sram": self.sram.as_dict(),
+            "energy": self.energy.as_dict(),
+            "ops": dict(self.ops),
+            "sram_miss_rate": self.sram_miss_rate,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationResult":
+        """Rebuild a result from :meth:`as_dict` output (equal field-by-field)."""
+        return cls(
+            accelerator=data["accelerator"],
+            workload=data["workload"],
+            cycles=data["cycles"],
+            compute_cycles=data["compute_cycles"],
+            memory_cycles=data["memory_cycles"],
+            dram=TrafficCounter(dict(data["dram"])),
+            sram=TrafficCounter(dict(data["sram"])),
+            energy=EnergyAccount(dict(data["energy"])),
+            ops=dict(data["ops"]),
+            sram_miss_rate=data["sram_miss_rate"],
+            extra=dict(data["extra"]),
+        )
+
+    # ------------------------------------------------------------------ #
     # Comparisons (all defined so that larger = better for LoAS)
     # ------------------------------------------------------------------ #
     def speedup_over(self, other: "SimulationResult") -> float:

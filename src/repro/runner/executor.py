@@ -18,6 +18,15 @@ in three steps:
    evaluation-cache tier when a ``cache_dir`` is given, so they reuse each
    other's generated tensors across runs instead of regenerating.
 
+Execution is **incremental**: :meth:`SweepRunner.iter_partitions` yields each
+partition's results the moment they are available (in plan order serially,
+in completion order over a pool via ``imap_unordered``), and
+:meth:`SweepRunner.run` is merely that stream drained into a
+:class:`SweepResults`.  Because partitions are independent and results are
+slotted back by cell index, the batch result is bit-identical whichever
+order partitions complete in -- :class:`repro.api.Session.stream` builds the
+public streaming surface on this hook.
+
 Per-variant generators are seeded exactly like the historical serial loops
 (one fresh ``default_rng(seed)`` per simulator walk), and cache keys include
 the generator state, so serial, multi-process and legacy results are
@@ -33,6 +42,7 @@ import numpy as np
 
 from ..baselines import ann_layer_tensors
 from ..engine import AnnLayerEvaluation, DiskEvaluationCache, default_cache
+from ..engine.cache import ATTACHED_TIER
 from ..metrics.results import SimulationResult, aggregate_results
 from ..snn.workloads import NetworkWorkload
 from .scenario import SweepCell, SweepPlan
@@ -87,13 +97,20 @@ class SweepResults:
         return [(cell, result) for cell, result in self._ordered if cell.tag == tag]
 
 
-def _execute_partition(cells: Sequence[SweepCell], config) -> list[SimulationResult]:
+def _execute_partition(
+    cells: Sequence[SweepCell], config, disk_tier=ATTACHED_TIER
+) -> list[SimulationResult]:
     """Run one partition: all simulators of one ``(workload, seed)`` group.
 
     The workload is walked layer-major; each layer is evaluated once per
     fine-tuning variant (with that variant's own generator, seeded exactly
     like the historical per-simulator serial walks) and every simulator of
     the partition consumes the shared evaluation before the next layer.
+
+    ``disk_tier`` is forwarded to :meth:`WorkloadEvaluationCache.evaluate`:
+    worker processes leave the default (their process-wide attached tier),
+    the serial path passes the runner's own tier explicitly so concurrent
+    in-process runs with different tiers never interfere.
     """
     workload_spec = cells[0].workload
     seed = cells[0].seed
@@ -106,7 +123,9 @@ def _execute_partition(cells: Sequence[SweepCell], config) -> list[SimulationRes
     per_cell: list[list[SimulationResult]] = [[] for _ in cells]
     for layer in layers:
         evaluations = {
-            variant: cache.evaluate(layer, rngs[variant], finetuned=variant)
+            variant: cache.evaluate(
+                layer, rngs[variant], finetuned=variant, disk_tier=disk_tier
+            )
             for variant in variants
         }
         for index, cell in enumerate(cells):
@@ -125,14 +144,14 @@ def _execute_partition(cells: Sequence[SweepCell], config) -> list[SimulationRes
     return [results[0] for results in per_cell]
 
 
-def _pool_task(payload) -> list[SimulationResult]:
+def _pool_task(payload) -> tuple[int, list[SimulationResult]]:
     """Worker-process entry point: attach the disk tier, run one partition."""
-    cells, config, cache_dir = payload
-    _ensure_disk_tier(cache_dir)
-    return _execute_partition(cells, config)
+    ordinal, cells, config, cache_dir, disk_max_bytes = payload
+    _ensure_disk_tier(cache_dir, disk_max_bytes)
+    return ordinal, _execute_partition(cells, config)
 
 
-def _ensure_disk_tier(cache_dir) -> None:
+def _ensure_disk_tier(cache_dir, max_bytes=None) -> None:
     """Idempotently attach the shared disk tier to this process's cache."""
     if cache_dir is None:
         return
@@ -140,7 +159,7 @@ def _ensure_disk_tier(cache_dir) -> None:
     tier = cache.disk_tier
     if isinstance(tier, DiskEvaluationCache) and str(tier.directory) == str(cache_dir):
         return
-    cache.attach_disk_tier(DiskEvaluationCache(cache_dir))
+    cache.attach_disk_tier(DiskEvaluationCache(cache_dir, max_bytes=max_bytes))
 
 
 class SweepRunner:
@@ -152,13 +171,21 @@ class SweepRunner:
         ``None``, 0 or 1 run the plan serially in-process; ``>= 2`` spreads
         the partitions over a ``multiprocessing`` pool of that size.
     cache_dir:
-        Directory of the shared on-disk evaluation-cache tier.  Attached to
-        every worker process (and, for the duration of a serial run, to the
-        in-process default cache), so concurrent workers and repeated runs
-        share generated tensors.
+        The shared on-disk evaluation-cache tier: a directory path, or an
+        already-constructed :class:`~repro.engine.DiskEvaluationCache` whose
+        counters the caller wants to keep (``repro.api.Session`` passes its
+        own tier so ``cache stats`` report across runs).  Attached to every
+        worker process; serial runs pass the tier per evaluation instead of
+        mutating the process-wide cache, so concurrent in-process runs with
+        different tiers cannot interfere while worker processes and
+        repeated runs still share generated tensors.
     mp_context:
         Optional multiprocessing start-method name (``"fork"`` / ``"spawn"``);
         defaults to ``fork`` where available (POSIX) and ``spawn`` elsewhere.
+    disk_max_bytes:
+        Optional byte budget handed to the disk tier when ``cache_dir`` is a
+        path (ignored when an instance is passed -- the instance keeps its
+        own budget).
     """
 
     def __init__(
@@ -166,55 +193,78 @@ class SweepRunner:
         workers: int | None = None,
         cache_dir=None,
         mp_context: str | None = None,
+        disk_max_bytes: int | None = None,
     ):
         if workers is not None and workers < 0:
             raise ValueError("workers must be non-negative")
         self.workers = workers or 0
-        self.cache_dir = cache_dir
         self.mp_context = mp_context
+        self.disk_tier = DiskEvaluationCache.coerce(cache_dir, max_bytes=disk_max_bytes)
+        #: The tier's directory as a plain string (whatever form was passed).
+        self.cache_dir = (
+            str(self.disk_tier.directory) if self.disk_tier is not None else None
+        )
 
     def run(self, plan: SweepPlan) -> SweepResults:
-        """Execute every cell of ``plan`` and return the results."""
-        partitions = plan.partitions()
+        """Execute every cell of ``plan`` and return the results.
+
+        Drains :meth:`iter_partitions`; because results are slotted back by
+        cell index, the outcome does not depend on partition completion
+        order.
+        """
         results: list[SimulationResult | None] = [None] * len(plan.cells)
-        if self.workers >= 2 and len(partitions) > 1:
-            outputs = self._run_pool(plan, partitions)
-        else:
-            outputs = self._run_serial(plan, partitions)
-        for indices, partition_results in zip(partitions, outputs):
+        for _, indices, partition_results in self.iter_partitions(plan):
             for index, result in zip(indices, partition_results):
                 results[index] = result
         return SweepResults(plan, results)
 
+    def iter_partitions(
+        self, plan: SweepPlan
+    ) -> Iterator[tuple[int, list[int], list[SimulationResult]]]:
+        """Yield ``(ordinal, cell_indices, results)`` per completed partition.
+
+        ``ordinal`` indexes into ``plan.partitions()`` and ``cell_indices``
+        are the partition's positions in ``plan.cells``.  Serial runs yield
+        in plan order; pool runs yield in completion order
+        (``imap_unordered``), so consumers must not assume ordering --
+        every partition is yielded exactly once either way.
+        """
+        partitions = plan.partitions()
+        if self.workers >= 2 and len(partitions) > 1:
+            return self._iter_pool(plan, partitions)
+        return self._iter_serial(plan, partitions)
+
     # ------------------------------------------------------------------ #
     # Execution backends
     # ------------------------------------------------------------------ #
-    def _run_serial(self, plan: SweepPlan, partitions) -> list[list[SimulationResult]]:
-        cache = default_cache()
-        previous_tier = cache.disk_tier
-        if self.cache_dir is not None:
-            _ensure_disk_tier(self.cache_dir)
-        try:
-            return [
-                _execute_partition([plan.cells[i] for i in indices], plan.config)
-                for indices in partitions
-            ]
-        finally:
-            if self.cache_dir is not None:
-                cache.attach_disk_tier(previous_tier)
+    def _iter_serial(self, plan: SweepPlan, partitions):
+        # The runner's tier travels as an explicit evaluate() argument, not
+        # by mutating the process-wide cache's attached tier: interleaved or
+        # concurrent in-process runs (streams, threads) therefore cannot
+        # detach each other's tier or leak this one into unrelated runs.
+        # Without an own tier, whatever the caller attached globally stays
+        # in effect (ATTACHED_TIER).
+        tier = self.disk_tier if self.disk_tier is not None else ATTACHED_TIER
+        for ordinal, indices in enumerate(partitions):
+            yield ordinal, indices, _execute_partition(
+                [plan.cells[i] for i in indices], plan.config, disk_tier=tier
+            )
 
-    def _run_pool(self, plan: SweepPlan, partitions) -> list[list[SimulationResult]]:
+    def _iter_pool(self, plan: SweepPlan, partitions):
         method = self.mp_context
         if method is None:
             method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
         context = multiprocessing.get_context(method)
+        tier_dir = str(self.disk_tier.directory) if self.disk_tier is not None else None
+        tier_bytes = self.disk_tier.max_bytes if self.disk_tier is not None else None
         payloads = [
-            (tuple(plan.cells[i] for i in indices), plan.config, self.cache_dir)
-            for indices in partitions
+            (ordinal, tuple(plan.cells[i] for i in indices), plan.config, tier_dir, tier_bytes)
+            for ordinal, indices in enumerate(partitions)
         ]
         processes = min(self.workers, len(payloads))
         with context.Pool(processes=processes) as pool:
-            return pool.map(_pool_task, payloads)
+            for ordinal, results in pool.imap_unordered(_pool_task, payloads):
+                yield ordinal, partitions[ordinal], results
 
 
 def run_ann_network(

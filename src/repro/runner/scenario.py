@@ -266,8 +266,49 @@ class Scenario:
 _SCENARIOS: dict[str, Scenario] = {}
 
 
-def register_scenario(scenario: Scenario) -> Scenario:
-    """Add ``scenario`` to the registry (idempotent per name)."""
+def _scenario_signature(scenario: Scenario) -> tuple:
+    """Identity of a scenario that survives ``importlib.reload``.
+
+    Function objects are compared by ``(module, qualname)`` rather than
+    identity: reloading an experiment module re-creates its functions and
+    lambdas, and those re-registrations must not read as conflicts.
+    """
+
+    def function_id(fn):
+        if fn is None:
+            return None
+        return (getattr(fn, "__module__", None), getattr(fn, "__qualname__", None))
+
+    return (
+        scenario.name,
+        scenario.description,
+        scenario.defaults,
+        function_id(scenario.build),
+        function_id(scenario.shape),
+        function_id(scenario.run),
+    )
+
+
+def register_scenario(scenario: Scenario, replace: bool = False) -> Scenario:
+    """Add ``scenario`` to the registry.
+
+    Registering a *different* scenario under an already-taken name raises
+    ``ValueError`` (a silent overwrite would make one figure's entry point
+    run another figure's sweep); pass ``replace=True`` to overwrite on
+    purpose.  Re-registering the same scenario -- including the fresh
+    function objects an ``importlib.reload`` of its module produces -- is a
+    harmless no-op.
+    """
+    existing = _SCENARIOS.get(scenario.name)
+    if (
+        existing is not None
+        and not replace
+        and _scenario_signature(existing) != _scenario_signature(scenario)
+    ):
+        raise ValueError(
+            "scenario %r is already registered; pass replace=True to "
+            "overwrite it" % (scenario.name,)
+        )
     _SCENARIOS[scenario.name] = scenario
     return scenario
 
@@ -290,32 +331,14 @@ def list_scenarios() -> list[str]:
 def run_scenario(name: str, workers: int | None = None, cache_dir=None, **params):
     """Execute a registered scenario and return its shaped result dict.
 
-    ``workers`` and ``cache_dir`` configure the
-    :class:`~repro.runner.executor.SweepRunner` (worker-pool size and the
-    shared on-disk evaluation-cache directory); the remaining keyword
-    arguments override the scenario's declared defaults.
+    .. deprecated::
+        ``run_scenario`` is a shim over the public API; use
+        :meth:`repro.api.Session.run` (which additionally returns provenance
+        and supports streaming) instead.  The returned payload is unchanged.
     """
-    from .executor import SweepRunner  # late import: executor imports this module
+    from ..api.session import _legacy_shim_warning, default_session  # late import: api imports runner
 
-    scenario = get_scenario(name)
-    merged = dict(scenario.defaults)
-    merged.update(params)
-    if scenario.run is not None:
-        # Bespoke runs receive the runner options only when they declare
-        # support (their defaults carry the key); silently dropping a
-        # requested pool or disk tier would misreport what actually ran.
-        supported = dict(scenario.defaults)
-        for option, value in (("workers", workers), ("cache_dir", cache_dir)):
-            if value is None:
-                continue
-            if option not in supported:
-                raise TypeError(
-                    "scenario %r does not support %r" % (name, option)
-                )
-            merged[option] = value
-        return scenario.run(**merged)
-    plan = scenario.build(**merged)
-    results = SweepRunner(workers=workers, cache_dir=cache_dir).run(plan)
-    if scenario.shape is None:
-        return results
-    return scenario.shape(results, **merged)
+    _legacy_shim_warning("run_scenario", name)
+    return default_session().run(
+        name, workers=workers, cache_dir=cache_dir, **params
+    ).payload
