@@ -40,6 +40,7 @@ setup(
         "test": [
             "pytest>=7.0",
             "pytest-benchmark>=4.0",
+            "pytest-timeout>=2.1",
             "hypothesis>=6.0",
         ],
     },

@@ -5,9 +5,11 @@ Historically every entry point (thirteen ``run_*`` functions plus
 each call.  A :class:`Session` configures those once:
 
 * **cache tiers** -- the size of the process-wide evaluation LRU
-  (``lru_maxsize``) and the shared on-disk tier (``cache_dir`` +
-  ``disk_max_bytes``).  The session owns its
-  :class:`~repro.engine.DiskEvaluationCache` instance, so its counters
+  (``lru_maxsize``), the shared on-disk tier (``cache_dir`` +
+  ``disk_max_bytes``) and the network-addressed remote tier
+  (``cache_url``, a ``python -m repro cache serve`` daemon).  The session
+  owns its :class:`~repro.engine.DiskEvaluationCache` /
+  :class:`~repro.engine.RemoteBackend` instances, so their counters
   accumulate across runs and :meth:`cache_stats` reports real numbers.
 * **execution policy** -- the worker-pool size (``workers``; ``None``/0/1 =
   serial) and the multiprocessing start method (``mp_context``).
@@ -30,7 +32,7 @@ from __future__ import annotations
 
 from typing import Any, Iterator, Mapping
 
-from ..engine import CacheStats, DiskEvaluationCache, default_cache
+from ..engine import CacheStats, DiskEvaluationCache, RemoteBackend, default_cache
 from ..runner.executor import SweepResults, SweepRunner
 from ..runner.scenario import Scenario, get_scenario, list_scenarios
 from .result import PartitionResult, ScenarioResult
@@ -204,6 +206,11 @@ class Session:
     cache_dir:
         Directory of the session's on-disk evaluation-cache tier; created on
         first use and shared with worker processes.
+    cache_url:
+        ``host:port`` of a running evaluation-cache daemon (``python -m
+        repro cache serve``), stacked below the disk tier.  The connection
+        opens lazily; an unreachable daemon degrades the stack to the
+        remaining tiers with a single warning instead of failing the run.
     scale:
         Default workload ``scale`` for every scenario declaring one.
     lru_maxsize:
@@ -237,6 +244,7 @@ class Session:
         lru_maxsize: int | None = None,
         disk_max_bytes: int | None = None,
         mp_context: str | None = None,
+        cache_url=None,
     ):
         if workers is not None and workers < 0:
             raise ValueError("workers must be non-negative")
@@ -248,6 +256,12 @@ class Session:
         if lru_maxsize is not None:
             default_cache().resize(lru_maxsize)
         self._disk_tier = DiskEvaluationCache.coerce(cache_dir, max_bytes=disk_max_bytes)
+        self._remote_tier = RemoteBackend.coerce(cache_url)
+        self.cache_url = self._remote_tier.url if self._remote_tier is not None else None
+        #: Per-call cache_url overrides resolve here, so a repeated override
+        #: reuses one backend (one connection, one warn-once state) instead
+        #: of dialling -- and possibly re-warning -- on every run.
+        self._extra_remotes: dict[str, RemoteBackend] = {}
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -256,6 +270,11 @@ class Session:
     def disk_tier(self) -> DiskEvaluationCache | None:
         """The session-owned on-disk tier (``None`` without ``cache_dir``)."""
         return self._disk_tier
+
+    @property
+    def remote_tier(self) -> RemoteBackend | None:
+        """The session-owned remote tier (``None`` without ``cache_url``)."""
+        return self._remote_tier
 
     def scenarios(self) -> list[str]:
         """Sorted names of every registered scenario."""
@@ -273,6 +292,7 @@ class Session:
         *,
         workers=None,
         cache_dir=None,
+        cache_url=None,
         stream: bool = False,
         params: Mapping[str, Any] | None = None,
     ) -> None:
@@ -305,49 +325,84 @@ class Session:
                 "requires a sweep-shaped scenario" % (scenario.name,)
             )
         supported = dict(scenario.defaults)
-        for option, value in (("workers", workers), ("cache_dir", cache_dir)):
+        for option, value in (
+            ("workers", workers),
+            ("cache_dir", cache_dir),
+            ("cache_url", cache_url),
+        ):
             if value is not None and option not in supported:
                 raise TypeError(
                     "scenario %r does not support %r" % (scenario.name, option)
                 )
 
     def cache_stats(self) -> dict[str, CacheStats | None]:
-        """``{"lru": ..., "disk": ...}`` snapshots of the session's tiers.
+        """``{"lru": ..., "disk": ..., "remote": ...}`` tier snapshots.
 
         LRU counters are process-wide; disk counters belong to the session's
-        own tier object.  Pool runs accumulate their counters in the worker
-        processes, so only serial activity is visible here (the disk tier's
-        ``entries`` / ``total_bytes`` are on-disk facts either way).
+        own tier object; remote counters are the daemon's own (``None`` when
+        no ``cache_url`` was configured or the daemon is unreachable).  Pool
+        runs accumulate their counters in the worker processes, so only
+        serial activity is visible here (the disk tier's ``entries`` /
+        ``total_bytes`` and the daemon's counters are shared facts either
+        way).
         """
         return {
             "lru": default_cache().stats(),
             "disk": self._disk_tier.stats() if self._disk_tier is not None else None,
+            "remote": (
+                self._remote_tier.server_stats() if self._remote_tier is not None else None
+            ),
         }
 
-    def clear_cache(self, disk: bool = False) -> None:
-        """Reset the process-wide LRU; with ``disk=True`` also the disk tier."""
+    def clear_cache(self, disk: bool = False, remote: bool = False) -> None:
+        """Reset the process-wide LRU; optionally also the persistent tiers.
+
+        ``disk=True`` clears the session's on-disk tier, ``remote=True``
+        asks the session's evaluation-cache daemon to drop its entries.
+        """
         default_cache().clear()
         if disk and self._disk_tier is not None:
             self._disk_tier.clear()
+        if remote and self._remote_tier is not None:
+            self._remote_tier.clear()
 
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
-    def run(self, name: str, *, workers: int | None = None, cache_dir=None, **params) -> ScenarioResult:
+    def run(
+        self,
+        name: str,
+        *,
+        workers: int | None = None,
+        cache_dir=None,
+        cache_url=None,
+        **params,
+    ) -> ScenarioResult:
         """Execute scenario ``name`` and return its :class:`ScenarioResult`.
 
         ``params`` override the scenario's declared defaults; ``workers`` /
-        ``cache_dir`` override the session's execution policy for this call.
-        Sweep-shaped scenarios run through :meth:`stream` internally, so
-        batch and streaming results are one code path.
+        ``cache_dir`` / ``cache_url`` override the session's execution
+        policy for this call.  Sweep-shaped scenarios run through
+        :meth:`stream` internally, so batch and streaming results are one
+        code path.
         """
         _ensure_registry()
         scenario = get_scenario(name)
         if scenario.run is not None:
-            return self._run_bespoke(scenario, workers, cache_dir, params)
-        return self.stream(name, workers=workers, cache_dir=cache_dir, **params).collect()
+            return self._run_bespoke(scenario, workers, cache_dir, cache_url, params)
+        return self.stream(
+            name, workers=workers, cache_dir=cache_dir, cache_url=cache_url, **params
+        ).collect()
 
-    def stream(self, name: str, *, workers: int | None = None, cache_dir=None, **params) -> ScenarioStream:
+    def stream(
+        self,
+        name: str,
+        *,
+        workers: int | None = None,
+        cache_dir=None,
+        cache_url=None,
+        **params,
+    ) -> ScenarioStream:
         """Incremental execution: a :class:`ScenarioStream` over partitions.
 
         Only sweep-shaped scenarios stream (bespoke ones have no plan to
@@ -360,7 +415,7 @@ class Session:
         self.validate_run_options(scenario, stream=True, params=params)
         merged = self._merge_params(scenario, params)
         plan = scenario.build(**merged)
-        runner = self._make_runner(workers, cache_dir)
+        runner = self._make_runner(workers, cache_dir, cache_url)
         baselines: dict[str, Any] = {"lru": None, "disk": None}
 
         def capture() -> None:
@@ -385,6 +440,7 @@ class Session:
                 baselines["lru"],
                 baselines["disk"],
                 pooled=pooled,
+                cache_url=runner.cache_url,
             )
             provenance["seeds"] = tuple(sorted({cell.seed for cell in plan.cells}))
             provenance["cells"] = len(plan.cells)
@@ -401,10 +457,12 @@ class Session:
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
-    def _run_bespoke(self, scenario: Scenario, workers, cache_dir, params) -> ScenarioResult:
+    def _run_bespoke(
+        self, scenario: Scenario, workers, cache_dir, cache_url, params
+    ) -> ScenarioResult:
         merged = self._merge_params(scenario, params)
         self.validate_run_options(
-            scenario, workers=workers, cache_dir=cache_dir, params=params
+            scenario, workers=workers, cache_dir=cache_dir, cache_url=cache_url, params=params
         )
         supported = dict(scenario.defaults)
         effective_workers = workers if workers is not None else self.workers
@@ -416,16 +474,22 @@ class Session:
             and "mp_context" not in params
         ):
             merged["mp_context"] = self.mp_context
-        # The scenario receives the session-owned tier *object* (keeping its
-        # byte budget and counters); the recorded params keep the string
-        # path so the ScenarioResult stays JSON-serialisable.
+        # The scenario receives the session-owned tier *objects* (keeping
+        # their budgets, connections and counters); the recorded params keep
+        # the string path/URL so the ScenarioResult stays JSON-serialisable.
         tier = self._tier_for(cache_dir)
+        remote = self._remote_for(cache_url)
         call_kwargs = dict(merged)
         if tier is not None and "cache_dir" in supported:
             call_kwargs["cache_dir"] = tier
             merged["cache_dir"] = str(tier.directory)
         elif "cache_dir" not in supported:
             tier = None  # the scenario cannot use it; don't report it ran
+        if remote is not None and "cache_url" in supported:
+            call_kwargs["cache_url"] = remote
+            merged["cache_url"] = remote.url
+        elif "cache_url" not in supported:
+            remote = None  # same rule as the disk tier: don't report it ran
         lru_before = default_cache().stats()
         disk_before = tier.stats() if tier is not None else None
         payload = scenario.run(**call_kwargs)
@@ -438,6 +502,7 @@ class Session:
             lru_before,
             disk_before,
             pooled=bool(merged.get("workers")) and merged["workers"] >= 2,
+            cache_url=remote.url if remote is not None else None,
         )
         if "seed" in merged:
             provenance["seeds"] = (merged["seed"],)
@@ -455,13 +520,28 @@ class Session:
         merged.update(params)
         return merged
 
-    def _make_runner(self, workers, cache_dir) -> SweepRunner:
+    def _make_runner(self, workers, cache_dir, cache_url=None) -> SweepRunner:
         tier = self._tier_for(cache_dir)
         return SweepRunner(
             workers=workers if workers is not None else self.workers,
             cache_dir=tier,
+            cache_url=self._remote_for(cache_url),
             mp_context=self.mp_context,
         )
+
+    def _remote_for(self, cache_url) -> RemoteBackend | None:
+        """Per-call remote-tier triage, mirroring :meth:`_tier_for`."""
+        if cache_url is None:
+            return self._remote_tier
+        if isinstance(cache_url, RemoteBackend):
+            return cache_url
+        if self._remote_tier is not None and str(cache_url) == self._remote_tier.url:
+            return self._remote_tier
+        backend = self._extra_remotes.get(str(cache_url))
+        if backend is None:
+            backend = RemoteBackend(cache_url)
+            self._extra_remotes[backend.url] = backend
+        return backend
 
     def _tier_for(self, cache_dir) -> DiskEvaluationCache | None:
         if cache_dir is None:
@@ -478,7 +558,13 @@ class Session:
         return DiskEvaluationCache(cache_dir)
 
     def _provenance(
-        self, tier, workers, lru_before, disk_before, pooled: bool = False
+        self,
+        tier,
+        workers,
+        lru_before,
+        disk_before,
+        pooled: bool = False,
+        cache_url: str | None = None,
     ) -> dict[str, Any]:
         lru_after = default_cache().stats()
         cache: dict[str, Any] = {
@@ -507,6 +593,7 @@ class Session:
             "package_version": _package_version(),
             "workers": workers or None,
             "cache_dir": str(tier.directory) if tier is not None else None,
+            "cache_url": cache_url,
             "cache": cache,
         }
         return provenance

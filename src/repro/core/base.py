@@ -76,9 +76,13 @@ class SimulatorBase:
         if evaluation is None:
             rng = np.random.default_rng(DEFAULT_RNG_SEED) if rng is None else rng
             evaluation = default_cache().evaluate(workload, rng, finetuned=finetuned)
+        # The tensors travel as possibly-still-deferred handles: every
+        # simulator reads the shared evaluation when one is passed, so a
+        # statistics-warm cache hit never decodes the dense tensors.
+        spikes, weights = evaluation.tensors
         return self.simulate_layer(
-            evaluation.spikes,
-            evaluation.weights,
+            spikes,
+            weights,
             name=workload.name,
             evaluation=evaluation,
             **kwargs,

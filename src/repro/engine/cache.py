@@ -25,21 +25,36 @@ the generator is fast-forwarded to the recorded post-generation state, so
 the caller's stream of randomness is bit-identical to having regenerated --
 downstream draws cannot diverge.
 
+Tier stack
+----------
+:class:`WorkloadEvaluationCache` orchestrates fingerprinting, generator
+fast-forwarding and write-back over a stack of
+:class:`~repro.engine.backend.CacheBackend` tiers: its own
+:class:`~repro.engine.backend.MemoryBackend` LRU on top, then any **lower
+tiers** -- the on-disk :class:`~repro.engine.DiskEvaluationCache` and/or a
+network-addressed :class:`~repro.engine.backend.RemoteBackend` -- composed
+with promote-on-hit by a :class:`~repro.engine.backend.TieredCache`.  A full
+miss publishes the freshly generated tensors to every lower tier
+immediately; once the simulators have *enriched* the evaluation (statistics
+GEMMs, LIF outputs, compressions), :meth:`flush_writebacks` re-publishes the
+entry so lower-tier hits skip that work too (the executor flushes after
+every layer).
+
 Generated tensors are marked non-writeable before they are shared, so a
 misbehaving simulator cannot corrupt other simulators' results.
 """
 
 from __future__ import annotations
 
+import os
 import threading
-from collections import OrderedDict
-from dataclasses import dataclass
 
 import numpy as np
 import numpy.random  # noqa: F401 -- eager: numpy loads this lazily, and the
 # first simulated workload should not pay the submodule-import cost.
 
 from ..snn.workloads import LayerWorkload
+from .backend import CacheBackend, CacheEntry, CacheStats, MemoryBackend, TieredCache
 from .evaluation import LayerEvaluation
 
 __all__ = [
@@ -52,72 +67,17 @@ __all__ = [
     "generator_fingerprint",
 ]
 
-#: Sentinel for :meth:`WorkloadEvaluationCache.evaluate`'s ``disk_tier``
-#: parameter: consult whatever tier is attached to the cache (the default).
-#: Callers that own a tier pass it explicitly instead of attaching it to the
-#: process-wide cache -- an explicit tier is thread-safe and cannot leak
-#: into unrelated runs.
+#: Sentinel for :meth:`WorkloadEvaluationCache.evaluate`'s ``tiers``
+#: parameter: consult whatever lower tiers are attached to the cache (the
+#: default).  Callers that own tiers pass them explicitly instead of
+#: attaching them to the process-wide cache -- an explicit stack is
+#: thread-safe and cannot leak into unrelated runs.
 ATTACHED_TIER = object()
 
-
-@dataclass(frozen=True)
-class CacheStats:
-    """Counter snapshot of one cache tier.
-
-    Shared by the in-memory LRU (:class:`WorkloadEvaluationCache`) and the
-    on-disk tier (:class:`~repro.engine.disk_cache.DiskEvaluationCache`);
-    fields that do not apply to a tier keep their defaults.
-
-    Attributes
-    ----------
-    hits / misses:
-        Lookups served from / absent from this tier since the last reset.
-    evictions:
-        Entries dropped to respect the tier's capacity bound (the LRU's
-        ``maxsize``, the disk tier's ``max_bytes``).
-    entries:
-        Entries currently held.
-    disk_hits:
-        LRU only -- lookups absent from the LRU but served by the disk
-        tier.  Counted separately from ``misses`` (which only counts full
-        misses that regenerated tensors), so total lookups are
-        ``hits + disk_hits + misses``.
-    maxsize:
-        LRU only -- the entry-count bound.
-    stores:
-        Disk tier only -- entries published since the last reset.
-    corrupt_dropped:
-        Disk tier only -- torn/corrupt entries deleted on load.
-    total_bytes:
-        Disk tier only -- sum of entry-file sizes currently on disk.
-    """
-
-    hits: int
-    misses: int
-    evictions: int
-    entries: int
-    disk_hits: int = 0
-    maxsize: int | None = None
-    stores: int = 0
-    corrupt_dropped: int = 0
-    total_bytes: int | None = None
-
-    def as_dict(self) -> dict[str, int]:
-        """The populated counters as a plain dict (``None`` fields omitted)."""
-        out = {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "entries": self.entries,
-        }
-        if self.maxsize is not None:
-            out["disk_hits"] = self.disk_hits
-            out["maxsize"] = self.maxsize
-        if self.total_bytes is not None:
-            out["stores"] = self.stores
-            out["corrupt_dropped"] = self.corrupt_dropped
-            out["total_bytes"] = self.total_bytes
-        return out
+#: Auto-flush bound: evaluate() flushes the pending write-backs itself once
+#: this many accumulate, so callers that never call flush_writebacks()
+#: (plain ``simulate_workload`` loops) cannot grow the list without bound.
+_DIRTY_FLUSH_THRESHOLD = 64
 
 
 def _freeze(value):
@@ -154,75 +114,146 @@ def workload_fingerprint(workload: LayerWorkload, finetuned: bool = False):
     )
 
 
-@dataclass
-class _CacheEntry:
-    evaluation: LayerEvaluation
-    state_after: dict
+class _Dirty:
+    """One pending write-back: an entry whose evaluation may still change.
+
+    ``baseline`` is the evaluation's derived-state *signature* at
+    registration: the flush re-publishes when the signature differs, not
+    when a count grows -- simulators both add artifacts (statistics,
+    compressions) and deliberately drop them (``compress_output`` frees the
+    full sums and LIF outputs it supersedes), and a count cannot see an
+    add-and-drop that nets to zero.  The stored entry thereby mirrors the
+    warm in-memory state, superseded artifacts included-out.
+    """
+
+    __slots__ = ("key", "entry", "lower", "baseline")
+
+    def __init__(self, key, entry: CacheEntry, lower, baseline: tuple):
+        self.key = key
+        self.entry = entry
+        self.lower = lower
+        self.baseline = baseline
 
 
 class WorkloadEvaluationCache:
-    """LRU cache of :class:`LayerEvaluation` objects keyed by fingerprint.
+    """LRU-topped tier stack of evaluations keyed by fingerprint.
 
-    ``maxsize`` bounds the number of cached layer evaluations (the paper's
-    three networks evaluated with and without fine-tuning need ~80 entries).
+    ``maxsize`` bounds the number of evaluations the in-process
+    :class:`~repro.engine.backend.MemoryBackend` holds (the paper's three
+    networks evaluated with and without fine-tuning need ~80 entries).
     The cache is thread-safe: the whole of :meth:`evaluate` -- lookup,
     fast-forward, generation and insertion -- runs under one internal lock,
     so concurrent callers sharing a cache (but not a generator) observe
     consistent entries and counters.  The coarse lock deliberately trades
     cross-thread concurrency for simplicity (generation work serialises);
     parallel sweeps scale across *processes* (:class:`repro.runner.SweepRunner`),
-    each with its own cache, sharing tensors through the disk tier instead.
+    each with its own cache, sharing evaluations through the lower tiers.
 
-    An optional **disk tier** (:class:`~repro.engine.disk_cache.DiskEvaluationCache`,
-    attached with :meth:`attach_disk_tier`) sits below the LRU: an in-memory
-    miss first consults the disk tier -- reusing tensors generated by other
-    worker processes or previous CLI runs -- and a full miss spills the
-    freshly generated tensors back to it.
+    **Lower tiers** (an on-disk
+    :class:`~repro.engine.DiskEvaluationCache`, a network-addressed
+    :class:`~repro.engine.backend.RemoteBackend`, or any
+    :class:`~repro.engine.backend.CacheBackend`) attach with
+    :meth:`attach_backends` (or the historical :meth:`attach_disk_tier`):
+    an in-memory miss consults them top-down with promote-on-hit, and a
+    full miss publishes the freshly generated tensors back to all of them.
     """
 
-    def __init__(self, maxsize: int = 128, disk_tier=None):
-        if maxsize < 1:
-            raise ValueError("maxsize must be at least 1")
-        self.maxsize = maxsize
-        self._entries: OrderedDict[tuple, _CacheEntry] = OrderedDict()
+    def __init__(self, maxsize: int = 128, disk_tier=None, backends=None):
+        self._memory = MemoryBackend(maxsize)
         self._lock = threading.RLock()
-        self.disk_tier = disk_tier
+        if backends is not None and disk_tier is not None:
+            raise ValueError("pass either disk_tier or backends, not both")
+        if backends is not None:
+            self._lower = tuple(backends)
+        else:
+            self._lower = (disk_tier,) if disk_tier is not None else ()
+        self._lower_pid = os.getpid()
+        self._dirty: list[_Dirty] = []
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
-        self.evictions = 0
 
+    # ------------------------------------------------------------------ #
+    # Introspection / configuration
+    # ------------------------------------------------------------------ #
     def __len__(self) -> int:
+        return len(self._memory)
+
+    @property
+    def maxsize(self) -> int:
+        """The LRU's entry-count bound."""
+        return self._memory.maxsize
+
+    @property
+    def evictions(self) -> int:
+        """Entries the LRU dropped to respect ``maxsize``."""
+        return self._memory.evictions
+
+    @property
+    def memory_backend(self) -> MemoryBackend:
+        """The top (in-process LRU) tier."""
+        return self._memory
+
+    @property
+    def lower_backends(self) -> tuple[CacheBackend, ...]:
+        """The attached lower tiers, top-down (empty when none attached)."""
         with self._lock:
-            return len(self._entries)
+            return self._lower
+
+    @property
+    def disk_tier(self):
+        """The first attached on-disk tier (``None`` when there is none)."""
+        from .disk_cache import DiskEvaluationCache
+
+        with self._lock:
+            for backend in self._lower:
+                if isinstance(backend, DiskEvaluationCache):
+                    return backend
+        return None
+
+    @property
+    def lower_attached_in_process(self) -> bool:
+        """Whether the lower tiers were attached by *this* process.
+
+        ``False`` means they arrived through a ``fork`` -- live backends
+        hold locks and sockets that must not be shared across processes, so
+        worker bootstrap (:func:`repro.runner.executor._ensure_backends`)
+        rebuilds equivalent backends from specs instead of reusing them.
+        """
+        with self._lock:
+            return self._lower_pid == os.getpid()
+
+    def attach_backends(self, backends) -> None:
+        """Replace the lower-tier stack (pass ``()`` to detach everything)."""
+        with self._lock:
+            self._lower = tuple(backends)
+            self._lower_pid = os.getpid()
 
     def attach_disk_tier(self, tier) -> None:
-        """Attach (or with ``None`` detach) the shared on-disk tier."""
-        with self._lock:
-            self.disk_tier = tier
+        """Attach (or with ``None`` detach) a single shared lower tier.
+
+        The historical single-tier surface; :meth:`attach_backends` installs
+        a full stack.
+        """
+        self.attach_backends((tier,) if tier is not None else ())
 
     def clear(self) -> None:
         """Drop every cached evaluation and reset the hit/miss counters.
 
-        The disk tier, if attached, keeps its entries (it is the
-        cross-process tier; clear it explicitly via ``disk_tier.clear()``).
+        The lower tiers, if attached, keep their entries (they are the
+        cross-process tiers; clear them explicitly via their own
+        ``clear()``).
         """
         with self._lock:
-            self._entries.clear()
+            self._memory.clear()
+            self._dirty.clear()
             self.hits = 0
             self.misses = 0
             self.disk_hits = 0
-            self.evictions = 0
 
     def resize(self, maxsize: int) -> None:
         """Change the entry bound, evicting least-recently-used overflow now."""
-        if maxsize < 1:
-            raise ValueError("maxsize must be at least 1")
-        with self._lock:
-            self.maxsize = maxsize
-            while len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
-                self.evictions += 1
+        self._memory.resize(maxsize)
 
     def stats(self) -> "CacheStats":
         """Snapshot of the hit/miss/eviction counters and current occupancy."""
@@ -230,22 +261,26 @@ class WorkloadEvaluationCache:
             return CacheStats(
                 hits=self.hits,
                 misses=self.misses,
-                evictions=self.evictions,
-                entries=len(self._entries),
+                evictions=self._memory.evictions,
+                entries=len(self._memory),
                 disk_hits=self.disk_hits,
-                maxsize=self.maxsize,
+                maxsize=self._memory.maxsize,
             )
 
     def cache_info(self) -> dict[str, int]:
         """:meth:`stats` as a plain dict (hits/misses/evictions/occupancy)."""
         return self.stats().as_dict()
 
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
     def evaluate(
         self,
         workload: LayerWorkload,
         rng: np.random.Generator,
         finetuned: bool = False,
         disk_tier=ATTACHED_TIER,
+        tiers=ATTACHED_TIER,
     ) -> LayerEvaluation:
         """Return the (possibly cached) evaluation of ``workload``.
 
@@ -253,12 +288,13 @@ class WorkloadEvaluationCache:
         reached by regenerating, so callers sharing one generator across a
         sequence of layers observe bit-identical randomness either way.
 
-        ``disk_tier`` selects the on-disk tier for this call: the default
-        :data:`ATTACHED_TIER` uses whatever :meth:`attach_disk_tier`
-        installed, an explicit :class:`~repro.engine.DiskEvaluationCache`
-        uses that tier without touching the attached one (so concurrent
-        callers with different tiers cannot interfere), and ``None``
-        disables the tier for this call.
+        ``tiers`` selects the lower tiers for this call: the default
+        :data:`ATTACHED_TIER` uses whatever :meth:`attach_backends`
+        installed, an explicit backend or sequence of backends uses that
+        stack without touching the attached one (so concurrent callers with
+        different tiers cannot interfere), and ``None`` / ``()`` disables
+        the lower tiers for this call.  ``disk_tier`` is the historical
+        alias of the same parameter.
         """
         try:
             key = (workload_fingerprint(workload, finetuned), generator_fingerprint(rng))
@@ -268,39 +304,77 @@ class WorkloadEvaluationCache:
             spikes, weights = workload.generate(rng=rng, finetuned=finetuned)
             return LayerEvaluation(spikes, weights)
         with self._lock:
-            tier = self.disk_tier if disk_tier is ATTACHED_TIER else disk_tier
-            entry = self._entries.get(key)
+            lower = self._resolve_lower(tiers, disk_tier)
+            if len(self._dirty) >= _DIRTY_FLUSH_THRESHOLD:
+                self._flush_locked()
+            stack = TieredCache((self._memory,) + lower)
+            entry, level = stack.get(key)
             if entry is not None:
-                self.hits += 1
-                self._entries.move_to_end(key)
+                if level == 0:
+                    self.hits += 1
+                else:
+                    self.disk_hits += 1
+                    if lower:
+                        # A lower-tier hit may carry less than the simulators
+                        # are about to compute (a v1 tensor-only entry, or a
+                        # v2 entry from a run that exercised fewer
+                        # simulators); remember it so the write-back pass can
+                        # upgrade the stored entry in place.
+                        self._dirty.append(
+                            _Dirty(key, entry, lower, entry.evaluation.derived_signature())
+                        )
                 rng.bit_generator.state = entry.state_after
                 return entry.evaluation
-            if tier is not None:
-                loaded = tier.load(key)
-                if loaded is not None:
-                    spikes, weights, state_after = loaded
-                    spikes.setflags(write=False)
-                    weights.setflags(write=False)
-                    entry = _CacheEntry(LayerEvaluation(spikes, weights), state_after)
-                    self._insert(key, entry)
-                    self.disk_hits += 1
-                    rng.bit_generator.state = state_after
-                    return entry.evaluation
             self.misses += 1
             spikes, weights = workload.generate(rng=rng, finetuned=finetuned)
             spikes.setflags(write=False)
             weights.setflags(write=False)
-            entry = _CacheEntry(LayerEvaluation(spikes, weights), rng.bit_generator.state)
-            self._insert(key, entry)
-            if tier is not None:
-                tier.store(key, spikes, weights, entry.state_after)
+            entry = CacheEntry(LayerEvaluation(spikes, weights), rng.bit_generator.state)
+            stack.put(key, entry)
+            if lower:
+                self._dirty.append(
+                    _Dirty(key, entry, lower, entry.evaluation.derived_signature())
+                )
             return entry.evaluation
 
-    def _insert(self, key: tuple, entry: _CacheEntry) -> None:
-        self._entries[key] = entry
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+    def _resolve_lower(self, tiers, disk_tier) -> tuple[CacheBackend, ...]:
+        selected = tiers if tiers is not ATTACHED_TIER else disk_tier
+        if selected is ATTACHED_TIER:
+            return self._lower
+        if selected is None:
+            return ()
+        if isinstance(selected, (list, tuple)):
+            return tuple(selected)
+        return (selected,)
+
+    # ------------------------------------------------------------------ #
+    # Write-back
+    # ------------------------------------------------------------------ #
+    def flush_writebacks(self) -> int:
+        """Re-publish enriched evaluations to their lower tiers.
+
+        A full miss publishes tensors immediately, but the derived
+        artifacts -- statistics GEMMs, LIF outputs, compressions,
+        preprocessed children -- only exist after the simulators consumed
+        the evaluation.  Calling this once they have (the sweep executor
+        does so after every layer) refreshes the stored entries with the
+        dehydrated derived state, which is what makes lower-tier-warm runs
+        skip recomputation.  Entries whose evaluation gained nothing are
+        dropped silently.  Returns the number of entries re-published.
+        """
+        with self._lock:
+            return self._flush_locked()
+
+    def _flush_locked(self) -> int:
+        flushed = 0
+        for dirty in self._dirty:
+            if dirty.entry.evaluation.derived_signature() != dirty.baseline:
+                for backend in dirty.lower:
+                    backend.put(dirty.key, dirty.entry, replace=True)
+                dirty.entry.packed_cache = None  # bytes shared across tiers only
+                flushed += 1
+        self._dirty.clear()
+        return flushed
 
 
 _DEFAULT_CACHE = WorkloadEvaluationCache()

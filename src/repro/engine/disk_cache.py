@@ -1,26 +1,42 @@
-"""On-disk evaluation-cache tier below the in-process LRU.
+"""On-disk evaluation-cache backend below the in-process LRU.
 
 Worker processes and repeated CLI runs each start with an empty in-memory
-:class:`~repro.engine.cache.WorkloadEvaluationCache`, so without a shared
-tier every process regenerates the same random tensors.  The
-:class:`DiskEvaluationCache` is that shared tier: a directory of
-fingerprint-addressed ``.npz`` entries, one per ``(workload fingerprint,
-generator fingerprint)`` cache key, holding the generated ``(spikes,
-weights)`` tensor pair plus the post-generation bit-generator state needed
-to fast-forward the caller's generator on a hit.
+:class:`~repro.engine.backend.MemoryBackend`, so without a shared tier every
+process regenerates the same random tensors.  The :class:`DiskEvaluationCache`
+(a.k.a. ``DiskBackend`` on the :class:`~repro.engine.backend.CacheBackend`
+protocol) is that shared tier: a directory of fingerprint-addressed entry
+files, one per ``(workload fingerprint, generator fingerprint)`` cache key.
+(The ``.npz`` file suffix is historical and kept for on-disk compatibility:
+v2 entries are the flat :mod:`repro.engine.serde` container, only legacy v1
+files are actual ``np.savez`` archives.)
+
+Entry schema
+------------
+* **v2** (written today) -- the generated ``(spikes, weights)`` tensor pair,
+  the post-generation bit-generator state, *and* the dehydrated derived
+  artifacts of the evaluation (packed words, matches, full sums, the
+  statistics-profile arrays, LIF output spikes, output compressions, one
+  level of preprocessed children) via
+  :meth:`~repro.engine.evaluation.LayerEvaluation.dehydrate`.  A disk-warm
+  run therefore skips the matches/full-sums GEMM recomputation, not just
+  tensor generation.  Entries are first published tensor-only at generation
+  time and **refreshed** in place by the cache's write-back pass once the
+  simulators have enriched the evaluation.
+* **v1** (legacy, tensors + state only, no ``meta`` member) -- still loads;
+  the evaluation hydrates tensor-only and recomputes its statistics, and the
+  write-back pass upgrades the entry to v2 after its next use.
 
 Design constraints:
 
-* **Bit-identity** -- tensors are stored losslessly (integer ``.npz``
-  arrays) and the generator state round-trips through JSON exactly
-  (arbitrary-precision integers natively, ndarray-valued state fields --
-  e.g. Philox keys -- via a base64 envelope), so a disk hit is
-  indistinguishable from regeneration.
+* **Bit-identity** -- everything is stored losslessly
+  (:mod:`repro.engine.serde`), so a disk hit is indistinguishable from
+  regeneration.
 * **Atomicity** -- entries are written to a temporary file in the cache
   directory and published with :func:`os.replace`, so a concurrent reader
   never observes a partial entry.  A corrupt entry (e.g. a torn write from
-  a crashed process) is deleted and treated as a miss; the workload is
-  simply regenerated.
+  a crashed process, or a v2 container whose meta names artifacts the
+  archive lacks) is deleted and treated as a miss; the workload is simply
+  regenerated.
 * **Bounded size** -- an optional ``max_bytes`` budget evicts the
   least-recently-used entries (entry files carry their last-hit time as
   mtime).
@@ -28,8 +44,6 @@ Design constraints:
 
 from __future__ import annotations
 
-import base64
-import hashlib
 import json
 import os
 import tempfile
@@ -37,43 +51,21 @@ from pathlib import Path
 
 import numpy as np
 
-from .cache import CacheStats
+from .backend import CacheBackend, CacheEntry, CacheStats, pack_entry, unpack_entry
+from .serde import decode_state, encode_state, key_digest
 
-__all__ = ["DiskEvaluationCache"]
+__all__ = ["DiskBackend", "DiskEvaluationCache"]
 
 _ENTRY_SUFFIX = ".npz"
-_NDARRAY_TAG = "__ndarray__"
+
+# Back-compat aliases: these helpers lived here before they were shared with
+# the remote wire format through repro.engine.serde.
+_encode_state = encode_state
+_decode_state = decode_state
 
 
-def _encode_state(value):
-    """JSON-encodable copy of a bit-generator state (ndarrays via base64)."""
-    if isinstance(value, dict):
-        return {key: _encode_state(entry) for key, entry in value.items()}
-    if isinstance(value, np.ndarray):
-        payload = base64.b64encode(np.ascontiguousarray(value).tobytes()).decode("ascii")
-        return {_NDARRAY_TAG: [value.dtype.str, list(value.shape), payload]}
-    if isinstance(value, (list, tuple)):
-        return [_encode_state(entry) for entry in value]
-    if isinstance(value, np.integer):
-        return int(value)
-    return value
-
-
-def _decode_state(value):
-    """Inverse of :func:`_encode_state`."""
-    if isinstance(value, dict):
-        if set(value) == {_NDARRAY_TAG}:
-            dtype, shape, payload = value[_NDARRAY_TAG]
-            raw = np.frombuffer(base64.b64decode(payload), dtype=np.dtype(dtype))
-            return raw.reshape(tuple(shape)).copy()
-        return {key: _decode_state(entry) for key, entry in value.items()}
-    if isinstance(value, list):
-        return [_decode_state(entry) for entry in value]
-    return value
-
-
-class DiskEvaluationCache:
-    """Keyed on-disk store of generated workload tensors.
+class DiskEvaluationCache(CacheBackend):
+    """Keyed on-disk store of evaluated workloads (the ``DiskBackend``).
 
     Parameters
     ----------
@@ -86,9 +78,18 @@ class DiskEvaluationCache:
         pushes the directory over the budget, the least-recently-used
         entries are deleted (the most recent entry is always kept, so a
         budget smaller than one entry still caches the current workload).
+    store_derived:
+        When ``False`` the tier strips the derived artifacts and persists
+        tensors + state only (v1-sized entries) -- for space-constrained
+        tiers, and for benchmarking the statistics persistence itself.
     """
 
-    def __init__(self, directory: str | os.PathLike, max_bytes: int | None = None):
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        max_bytes: int | None = None,
+        store_derived: bool = True,
+    ):
         if max_bytes is not None and max_bytes <= 0:
             raise ValueError("max_bytes must be positive when given")
         # The directory is created lazily on the first store: constructing a
@@ -96,9 +97,11 @@ class DiskEvaluationCache:
         # `cache stats --cache-dir typo` does not litter the filesystem.
         self.directory = Path(directory)
         self.max_bytes = max_bytes
+        self.store_derived = bool(store_derived)
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.refreshes = 0
         self.corrupt_dropped = 0
         self.evictions = 0
 
@@ -122,34 +125,31 @@ class DiskEvaluationCache:
     def entry_path(self, key) -> Path:
         """File holding the entry for ``key`` (exists only after a store).
 
-        Keys are the same hashable fingerprint tuples the in-memory LRU
-        uses; ``repr`` of those tuples is deterministic (ints, floats,
-        bools, strings and byte strings only), so its SHA-256 is a stable
-        address across processes and runs.
+        The address is :func:`repro.engine.serde.key_digest` -- the same
+        digest the remote tier keys its frames by.
         """
-        digest = hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
-        return self.directory / (digest + _ENTRY_SUFFIX)
+        return self.directory / (key_digest(key) + _ENTRY_SUFFIX)
 
     # ------------------------------------------------------------------ #
-    # Lookup / spill
+    # Backend protocol
     # ------------------------------------------------------------------ #
-    def load(self, key) -> tuple[np.ndarray, np.ndarray, dict] | None:
-        """Return ``(spikes, weights, state_after)`` or ``None`` on a miss.
+    def get(self, key) -> CacheEntry | None:
+        """The hydrated entry for ``key``, or ``None`` on a miss.
 
         A corrupt or partially written entry counts as a miss: the file is
         deleted so the caller's regeneration can re-publish a clean one.
+        v1 entries hydrate tensor-only (their evaluation recomputes derived
+        statistics on demand).
         """
         path = self.entry_path(key)
         try:
-            with np.load(path) as data:
-                spikes = data["spikes"]
-                weights = data["weights"]
-                state = _decode_state(json.loads(bytes(data["state"]).decode("utf-8")))
+            entry = unpack_entry(path.read_bytes())
         except FileNotFoundError:
             self.misses += 1
             return None
         except Exception:
-            # Torn write / truncated zip / bad JSON: drop the entry.
+            # Torn write / truncated zip / bad JSON / meta naming artifacts
+            # the archive lacks: drop the entry.
             self.corrupt_dropped += 1
             self.misses += 1
             try:
@@ -162,7 +162,67 @@ class DiskEvaluationCache:
             os.utime(path)  # record recency for the byte-budget eviction
         except OSError:
             pass
-        return spikes, weights, state
+        return entry
+
+    def put(self, key, entry: CacheEntry, replace: bool = False) -> None:
+        """Atomically publish an entry (no-op if present, unless ``replace``)."""
+        path = self.entry_path(key)
+        if path.exists() and not replace:
+            return
+        if not self.store_derived:
+            if replace and path.exists():
+                return  # nothing to enrich a tensor-only tier with
+            entry = CacheEntry(
+                evaluation=type(entry.evaluation)(
+                    entry.evaluation.spikes, entry.evaluation.weights
+                ),
+                state_after=entry.state_after,
+            )
+        refreshed = replace and path.exists()
+        self._write_atomically(path, pack_entry(entry))
+        if refreshed:
+            self.refreshes += 1
+        else:
+            self.stores += 1
+        if self.max_bytes is not None:
+            self._evict_over_budget(keep=path)
+
+    def _write_atomically(self, path: Path, payload: bytes) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def spec(self) -> tuple:
+        return ("disk", str(self.directory), self.max_bytes, self.store_derived)
+
+    # ------------------------------------------------------------------ #
+    # Legacy tensor-level interface
+    # ------------------------------------------------------------------ #
+    def load(self, key) -> tuple[np.ndarray, np.ndarray, dict] | None:
+        """Return ``(spikes, weights, state_after)`` or ``None`` on a miss.
+
+        The pre-protocol interface; :meth:`get` returns the full hydrated
+        entry instead.
+        """
+        entry = self.get(key)
+        if entry is None:
+            return None
+        return entry.evaluation.spikes, entry.evaluation.weights, entry.state_after
+
+    def store(self, key, spikes: np.ndarray, weights: np.ndarray, state_after: dict) -> None:
+        """Publish a tensor-only entry for ``key`` (no-op if present)."""
+        from .evaluation import LayerEvaluation
+
+        self.put(key, CacheEntry(LayerEvaluation(spikes, weights), state_after))
 
     # ------------------------------------------------------------------ #
     # Path protocol
@@ -179,33 +239,6 @@ class DiskEvaluationCache:
 
     def __str__(self) -> str:
         return str(self.directory)
-
-    def store(self, key, spikes: np.ndarray, weights: np.ndarray, state_after: dict) -> None:
-        """Atomically publish an entry for ``key`` (no-op if present)."""
-        path = self.entry_path(key)
-        if path.exists():
-            return
-        self.directory.mkdir(parents=True, exist_ok=True)
-        state_payload = json.dumps(_encode_state(state_after)).encode("utf-8")
-        fd, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                np.savez(
-                    handle,
-                    spikes=np.asarray(spikes),
-                    weights=np.asarray(weights),
-                    state=np.frombuffer(state_payload, dtype=np.uint8),
-                )
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
-        self.stores += 1
-        if self.max_bytes is not None:
-            self._evict_over_budget(keep=path)
 
     # ------------------------------------------------------------------ #
     # Budget / inspection
@@ -258,6 +291,7 @@ class DiskEvaluationCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.refreshes = 0
         self.corrupt_dropped = 0
         self.evictions = 0
 
@@ -286,6 +320,12 @@ class DiskEvaluationCache:
             evictions=self.evictions,
             entries=entries,
             stores=self.stores,
+            refreshes=self.refreshes,
             corrupt_dropped=self.corrupt_dropped,
             total_bytes=total,
         )
+
+
+#: The protocol-flavoured name of the tier (``backend.py`` documents the
+#: stack; the class itself predates the protocol and keeps its import path).
+DiskBackend = DiskEvaluationCache

@@ -31,6 +31,7 @@ import numpy as np
 
 from ..snn.lif import LIFParameters, lif_fire
 from ..sparse.packed import PackedSpikeMatrix, pack_spike_words, popcount
+from .serde import DeferredArray
 from .statistics import LayerStatistics
 
 __all__ = ["LayerEvaluation", "AnnLayerEvaluation"]
@@ -40,6 +41,25 @@ def _readonly(array: np.ndarray) -> np.ndarray:
     """Mark a derived array read-only before it is shared across simulators."""
     array.setflags(write=False)
     return array
+
+
+#: Cached-property names persisted by :meth:`LayerEvaluation.dehydrate`.
+#: Everything here is a pure array-valued function of ``(spikes, weights)``,
+#: stored losslessly, so hydration is bit-identical to recomputation.  The
+#: cheap mask/count properties (``nonsilent``, ``weight_mask``, ...) are
+#: deliberately absent: they rebuild in microseconds from the seeded arrays.
+_DEHYDRATED_PROPERTIES = (
+    "packed_words",
+    "matches",
+    "true_acs",
+    "true_acs_per_t",
+    "active_columns_per_t",
+    "weight_row_nnz",
+    "spikes_per_row_t",
+    "spikes_per_column_t",
+    "active_column_mask",
+    "full_sums",
+)
 
 
 class LayerEvaluation:
@@ -58,18 +78,55 @@ class LayerEvaluation:
     ``spikes`` / ``weights`` tensors non-writeable.
     """
 
-    def __init__(self, spikes: np.ndarray, weights: np.ndarray):
-        spikes = np.asarray(spikes)
-        weights = np.asarray(weights)
+    def __init__(self, spikes, weights):
+        # A hydrated evaluation may receive its dense tensors as
+        # DeferredArray handles (shape/dtype known, bytes not yet decoded):
+        # on the statistics-warm path every consumer reads the pre-seeded
+        # derived arrays, so the dense tensors often never materialise.
+        if not isinstance(spikes, DeferredArray):
+            spikes = np.asarray(spikes)
+        if not isinstance(weights, DeferredArray):
+            weights = np.asarray(weights)
         if spikes.ndim != 3 or weights.ndim != 2:
             raise ValueError("expected spikes (M, K, T) and weights (K, N)")
         if spikes.shape[1] != weights.shape[0]:
             raise ValueError("contraction dimension mismatch")
-        self.spikes = spikes
-        self.weights = weights
+        self._spikes = spikes
+        self._weights = weights
         self._output_spikes: dict[tuple, np.ndarray] = {}
         self._compressions: dict[tuple, object] = {}
         self._preprocessed: dict[int, "LayerEvaluation"] = {}
+        #: Hydration payloads of preprocessed children not yet rebuilt --
+        #: rebuilding masks a copy of the dense spikes, so a hydrated entry
+        #: defers it until :meth:`preprocessed` is actually called.
+        self._pending_preprocessed: dict[int, tuple] = {}
+
+    @property
+    def spikes(self) -> np.ndarray:
+        """Input spike tensor ``A`` (materialised on first access)."""
+        if isinstance(self._spikes, DeferredArray):
+            self._spikes = self._spikes.materialise()
+        return self._spikes
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Weight matrix ``B`` (materialised on first access)."""
+        if isinstance(self._weights, DeferredArray):
+            self._weights = self._weights.materialise()
+        return self._weights
+
+    @property
+    def tensors(self) -> tuple:
+        """The ``(spikes, weights)`` pair *without* forcing materialisation.
+
+        For callers that forward the tensors positionally alongside the
+        evaluation itself (``SimulatorBase.simulate_workload``): every
+        simulator reads the evaluation when one is passed, so handing over
+        still-deferred handles keeps the statistics-warm path free of the
+        dense-tensor decode.  The handles are accepted back by
+        ``LayerEvaluation(...)`` should a consumer rebuild one.
+        """
+        return self._spikes, self._weights
 
     # ------------------------------------------------------------------ #
     # Dimensions
@@ -77,22 +134,22 @@ class LayerEvaluation:
     @property
     def m(self) -> int:
         """Number of rows of ``A`` (output spatial positions)."""
-        return self.spikes.shape[0]
+        return self._spikes.shape[0]
 
     @property
     def k(self) -> int:
         """Contraction dimension."""
-        return self.spikes.shape[1]
+        return self._spikes.shape[1]
 
     @property
     def t(self) -> int:
         """Number of timesteps."""
-        return self.spikes.shape[2]
+        return self._spikes.shape[2]
 
     @property
     def n(self) -> int:
         """Number of output neurons (columns of ``B``)."""
-        return self.weights.shape[1]
+        return self._weights.shape[1]
 
     # ------------------------------------------------------------------ #
     # Compression and masks
@@ -106,7 +163,7 @@ class LayerEvaluation:
     def packed(self) -> PackedSpikeMatrix:
         """``A`` compressed into the FTP-friendly packed-temporal format."""
         return PackedSpikeMatrix(
-            words=self.packed_words, nonsilent=self.nonsilent, shape=self.spikes.shape
+            words=self.packed_words, nonsilent=self.nonsilent, shape=(self.m, self.k, self.t)
         )
 
     @cached_property
@@ -321,12 +378,196 @@ class LayerEvaluation:
             dropped = (counts > 0) & (counts <= max_spikes)
             masked = self.spikes.copy()
             masked[dropped] = 0
-            derived = LayerEvaluation(masked, self.weights)
+            # The weights hand over as-is (possibly still deferred): the
+            # child's cost models read its derived statistics, not ``B``.
+            derived = LayerEvaluation(masked, self._weights)
             # Masking a neuron zeroes exactly its packed word, so the
             # derived packed words need no second scan of the dense tensor.
             derived.packed_words = np.where(dropped, 0, self.packed_words)
             self._preprocessed[max_spikes] = derived
+            pending = self._pending_preprocessed.pop(max_spikes, None)
+            if pending is not None:
+                derived._hydrate_derived(pending[0], pending[1], prefix="pre%d_" % max_spikes)
         return derived
+
+    # ------------------------------------------------------------------ #
+    # Dehydration (cache-tier persistence)
+    # ------------------------------------------------------------------ #
+    def dehydrate(self) -> tuple[dict[str, np.ndarray], dict]:
+        """The evaluation as ``(arrays, meta)`` for the lower cache tiers.
+
+        Captures the base tensors plus every derived artifact **already
+        computed** -- the persisted cached properties
+        (:data:`_DEHYDRATED_PROPERTIES`), the memoised LIF output spikes and
+        output compressions, and one level of memoised preprocessed child
+        evaluations (each with its own derived artifacts).  Nothing is
+        force-computed: dehydrating a fresh evaluation yields tensors only,
+        dehydrating one that simulators have consumed yields exactly the
+        warm in-memory state, so a hydrated entry skips the same work a warm
+        LRU hit skips.
+
+        The mapping is consumed by :func:`repro.engine.serde.pack_payload`;
+        :meth:`hydrate` is the inverse.
+        """
+        # Children still pending (hydrated but never used) rebuild first, so
+        # re-publishing a hydrated entry cannot drop its stored children.
+        for max_spikes in sorted(self._pending_preprocessed):
+            self.preprocessed(max_spikes)
+        arrays: dict[str, np.ndarray] = {"spikes": self.spikes, "weights": self.weights}
+        meta: dict = {"schema": 2}
+        self._dehydrate_derived(arrays, meta, prefix="")
+        preprocessed: dict[str, dict] = {}
+        for max_spikes, child in self._preprocessed.items():
+            child_meta: dict = {}
+            child._dehydrate_derived(arrays, child_meta, prefix="pre%d_" % max_spikes)
+            preprocessed[str(max_spikes)] = child_meta
+        if preprocessed:
+            meta["preprocessed"] = preprocessed
+        return arrays, meta
+
+    def _dehydrate_derived(self, arrays: dict, meta: dict, prefix: str) -> None:
+        derived = [name for name in _DEHYDRATED_PROPERTIES if name in self.__dict__]
+        for name in derived:
+            arrays[prefix + "d_" + name] = self.__dict__[name]
+        meta["derived"] = derived
+        lif = []
+        for index, ((threshold, leak), spikes) in enumerate(self._output_spikes.items()):
+            arrays[prefix + "lif%d" % index] = spikes
+            lif.append([float(threshold), float(leak)])
+        meta["lif"] = lif
+        compressions = []
+        for index, (key, result) in enumerate(self._compressions.items()):
+            arrays[prefix + "comp%d" % index] = result.packed.words
+            compressions.append(
+                {
+                    "key": list(key),
+                    "shape": [int(dim) for dim in result.packed.shape],
+                    "cycles": float(result.cycles),
+                    "output_bytes": float(result.output_bytes),
+                    "dropped_neurons": int(result.dropped_neurons),
+                    "silent_output_neurons": int(result.silent_output_neurons),
+                }
+            )
+        meta["compressions"] = compressions
+
+    @property
+    def enrichment(self) -> int:
+        """How many derived artifacts this evaluation currently holds.
+
+        An observability counter (0 means tensors only); the write-back
+        machinery itself compares :meth:`derived_signature`, which also
+        sees artifacts being *replaced* rather than added.  Children still
+        pending rebuild count exactly as their stored form would, so
+        hydrating-then-ignoring an entry never reads as new enrichment.
+        """
+        count = sum(1 for name in _DEHYDRATED_PROPERTIES if name in self.__dict__)
+        count += len(self._output_spikes) + len(self._compressions)
+        for child in self._preprocessed.values():
+            count += 1 + child.enrichment
+        for _, child_meta in self._pending_preprocessed.values():
+            count += (
+                1
+                + len(child_meta.get("derived", ()))
+                + len(child_meta.get("lif", ()))
+                + len(child_meta.get("compressions", ()))
+            )
+        return count
+
+    def derived_signature(self) -> tuple:
+        """Hashable fingerprint of which derived artifacts are present.
+
+        Two equal signatures mean :meth:`dehydrate` would emit the same
+        member set; ``pack_entry`` keys its serialised-bytes memo on it so
+        one write-through serialises once while a later, further-enriched
+        write-back repacks.  A child still pending rebuild signs exactly as
+        its built form would, so hydrating an entry -- or rebuilding its
+        children -- does not change the signature until something is
+        genuinely added (this is what lets a promoted remote hit reuse the
+        wire bytes verbatim).
+        """
+        children: dict[int, tuple] = {
+            max_spikes: child.derived_signature()
+            for max_spikes, child in self._preprocessed.items()
+        }
+        for max_spikes, (_, child_meta) in self._pending_preprocessed.items():
+            children[max_spikes] = (
+                tuple(child_meta.get("derived", ())),
+                tuple(tuple(pair) for pair in child_meta.get("lif", ())),
+                tuple(tuple(record["key"]) for record in child_meta.get("compressions", ())),
+                (),
+            )
+        return (
+            tuple(name for name in _DEHYDRATED_PROPERTIES if name in self.__dict__),
+            tuple(self._output_spikes),
+            tuple(self._compressions),
+            tuple(sorted(children.items())),
+        )
+
+    @classmethod
+    def hydrate(cls, arrays: dict[str, np.ndarray], meta: dict) -> "LayerEvaluation":
+        """Rebuild an evaluation from :meth:`dehydrate` output.
+
+        Derived artifacts are seeded directly into the lazy-property slots
+        (marked read-only), so a hydrated evaluation never recomputes what
+        the entry carries -- in particular the matches / full-sums GEMMs.
+        Raises ``KeyError`` on an entry whose meta names artifacts the
+        container lacks (a torn write); cache tiers treat that as corruption
+        and fall back to recomputation.
+        """
+        spikes = arrays["spikes"]
+        weights = arrays["weights"]
+        if isinstance(spikes, np.ndarray):
+            spikes.setflags(write=False)
+        if isinstance(weights, np.ndarray):
+            weights.setflags(write=False)
+        evaluation = cls(spikes, weights)
+        evaluation._hydrate_derived(arrays, meta, prefix="")
+        for key, child_meta in (meta.get("preprocessed") or {}).items():
+            # Rebuilding a child masks a copy of the dense spikes -- defer
+            # it until preprocessed() is actually called, so an enriched
+            # hit consumed without preprocessing never decodes the tensors.
+            # Torn containers must still surface *here* as corruption (the
+            # tiers turn that into a clean miss), so the member presence is
+            # validated up front even though the rebuild is deferred.
+            cls._validate_child_members(arrays, child_meta, prefix="pre%s_" % key)
+            evaluation._pending_preprocessed[int(key)] = (arrays, child_meta)
+        return evaluation
+
+    @staticmethod
+    def _validate_child_members(arrays: dict, child_meta: dict, prefix: str) -> None:
+        for name in child_meta.get("derived", ()):
+            if name not in _DEHYDRATED_PROPERTIES:
+                raise KeyError("unknown derived artifact %r" % (name,))
+            if prefix + "d_" + name not in arrays:
+                raise KeyError("missing child artifact %r" % (prefix + "d_" + name,))
+        for index in range(len(child_meta.get("lif", ()))):
+            if prefix + "lif%d" % index not in arrays:
+                raise KeyError("missing child artifact %r" % (prefix + "lif%d" % index,))
+        for index in range(len(child_meta.get("compressions", ()))):
+            if prefix + "comp%d" % index not in arrays:
+                raise KeyError("missing child artifact %r" % (prefix + "comp%d" % index,))
+
+    def _hydrate_derived(self, arrays: dict, meta: dict, prefix: str) -> None:
+        from ..core.compressor import CompressorResult  # local: core imports engine
+
+        for name in meta.get("derived", ()):
+            if name not in _DEHYDRATED_PROPERTIES:
+                raise KeyError("unknown derived artifact %r" % (name,))
+            self.__dict__[name] = _readonly(arrays[prefix + "d_" + name])
+        for index, (threshold, leak) in enumerate(meta.get("lif", ())):
+            self._output_spikes[(threshold, leak)] = _readonly(arrays[prefix + "lif%d" % index])
+        for index, record in enumerate(meta.get("compressions", ())):
+            words = _readonly(arrays[prefix + "comp%d" % index])
+            packed = PackedSpikeMatrix(
+                words=words, nonsilent=words != 0, shape=tuple(record["shape"])
+            )
+            self._compressions[tuple(record["key"])] = CompressorResult(
+                packed=packed,
+                cycles=record["cycles"],
+                output_bytes=record["output_bytes"],
+                dropped_neurons=record["dropped_neurons"],
+                silent_output_neurons=record["silent_output_neurons"],
+            )
 
 
 class AnnLayerEvaluation:

@@ -5,6 +5,19 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+
+def pytest_configure(config: pytest.Config) -> None:
+    # The socket-backed cache tests carry `timeout` marks enforced by
+    # pytest-timeout (a [test] extra, installed in CI) so a wedged socket
+    # cannot hang the suite.  Registering the marker keeps the suite clean
+    # on environments without the plugin, where the marks are inert -- the
+    # tests then rely on their own socket timeouts instead.
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): per-test time limit, enforced when pytest-timeout "
+        "is installed",
+    )
+
 from repro.snn.workloads import LayerWorkload, SparsityProfile
 from repro.snn.network import LayerShape
 from repro.sparse.matrix import random_spike_tensor, random_weight_matrix
