@@ -7,6 +7,8 @@ Subcommands::
     python -m repro run fig13-traffic --scale 0.25 --workers 2 --json
     python -m repro run networks --set "networks=('alexnet',)" --stream
     python -m repro run networks --cache-url cachehost:8737
+    python -m repro run dse-pe-scaling --arch loas-32nm --scale 0.25
+    python -m repro run dse-sram-sweep --set arch.pe.num_tppes=32
     python -m repro cache serve --port 8737      # evaluation-cache daemon
     python -m repro cache stats --cache-dir .eval-cache --cache-url host:8737
     python -m repro cache stats --cache-dir .eval-cache --json
@@ -82,6 +84,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--scale", type=float, default=None, help="workload scale override")
     run.add_argument("--seed", type=int, default=None, help="sweep seed override")
+    run.add_argument(
+        "--arch",
+        default=None,
+        help=(
+            "hardware design point: a registered ArchSpec preset name "
+            "(e.g. loas-32nm); tweak individual knobs with "
+            "--set arch.<group>.<field>=<value>"
+        ),
+    )
     run.add_argument(
         "--set",
         dest="overrides",
@@ -179,7 +190,24 @@ def _command_describe(session: Session, name: str) -> int:
 
 def _command_run(session: Session, args: argparse.Namespace) -> int:
     scenario = _resolve_scenario(session, args.scenario)
-    params: dict[str, Any] = dict(args.overrides)
+    # "arch.<path>" --set keys address individual ArchSpec knobs; they fold
+    # into the scenario's arch_overrides parameter (flat (path, value) pairs)
+    # instead of becoming parameters themselves.
+    arch_overrides = tuple(
+        (key[len("arch."):], value)
+        for key, value in args.overrides
+        if key.startswith("arch.")
+    )
+    params: dict[str, Any] = dict(
+        (key, value) for key, value in args.overrides if not key.startswith("arch.")
+    )
+    if arch_overrides:
+        if "arch_overrides" in params:
+            raise _CliError(
+                "'arch_overrides' given both via --set arch.<path>=... and "
+                "--set arch_overrides=...; pick one"
+            )
+        params["arch_overrides"] = arch_overrides
     for reserved, flag in (
         ("workers", "--workers"),
         ("cache_dir", "--cache-dir"),
@@ -191,7 +219,11 @@ def _command_run(session: Session, args: argparse.Namespace) -> int:
             raise _CliError(
                 "%r is controlled by the %s flag, not --set" % (reserved, flag)
             )
-    for flag_name, flag_value, flag in (("scale", args.scale, "--scale"), ("seed", args.seed, "--seed")):
+    for flag_name, flag_value, flag in (
+        ("scale", args.scale, "--scale"),
+        ("seed", args.seed, "--seed"),
+        ("arch", args.arch, "--arch"),
+    ):
         if flag_value is None:
             continue
         if flag_name in params:

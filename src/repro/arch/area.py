@@ -3,20 +3,29 @@
 The paper synthesises the key components in RTL (32 nm, 800 MHz) and reports
 the component-level area and power in Table IV.  Re-running synthesis is out
 of scope for a Python reproduction, so this module encodes the published
-component costs directly and exposes:
+component costs as *data* -- an :class:`AreaSpec` held by every
+:class:`~repro.arch.spec.ArchSpec` design point -- and exposes:
 
 * the system-level and TPPE-level breakdowns (Table IV / Figure 15), and
 * an analytical scaling model of the TPPE with the number of timesteps
   (Figure 16a): only the correction accumulators and the packed-spike input
   buffer grow with ``T``; everything else (bitmask buffers, prefix-sum
   circuits, control) is timestep-agnostic.
+
+Every function accepts an ``area`` keyword selecting the cost table; the
+default is the published 32 nm table (``AreaSpec()``), so existing callers
+are bit-identical.  The legacy module constants ``TPPE_COMPONENTS`` /
+``SYSTEM_COMPONENTS`` remain as read-only views of that default table.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Mapping
 
 __all__ = [
+    "AreaSpec",
     "ComponentCost",
     "TPPE_COMPONENTS",
     "SYSTEM_COMPONENTS",
@@ -43,31 +52,74 @@ class ComponentCost:
         return ComponentCost(self.area_mm2 + other.area_mm2, self.power_mw + other.power_mw)
 
 
+@dataclass(frozen=True)
+class AreaSpec:
+    """The component cost tables and scaling fractions of one design point.
+
+    The default values are the published 32 nm / 800 MHz synthesis results
+    (Table IV) and the Figure 16a scaling fractions.  Component tables are
+    stored as ``(name, ComponentCost)`` tuples so the whole spec stays
+    hashable; use :meth:`tppe_table` / :meth:`system_table` for dict views.
+
+    Attributes
+    ----------
+    tppe_components:
+        Per-TPPE component costs at the reference configuration.
+    system_components:
+        System-level component costs at the reference configuration.
+    timestep_scaled_area_fraction / timestep_scaled_power_fraction:
+        Fraction of the TPPE cost that scales linearly with the number of
+        timesteps at the reference point (Figure 16a): the correction
+        accumulators and the packed-spike input buffer.
+    reference_timesteps / reference_tppes:
+        The configuration the tables were synthesised at.
+    """
+
+    tppe_components: tuple[tuple[str, ComponentCost], ...] = (
+        ("accumulators", ComponentCost(2e-3, 0.16)),
+        ("fast_prefix", ComponentCost(0.04, 1.46)),
+        ("laggy_prefix", ComponentCost(5e-3, 0.32)),
+        ("others", ComponentCost(0.013, 0.88)),
+    )
+    system_components: tuple[tuple[str, ComponentCost], ...] = (
+        ("tppes", ComponentCost(0.96, 45.1)),
+        ("plifs", ComponentCost(0.02, 1.2)),
+        ("global_cache", ComponentCost(0.80, 124.5)),
+        ("others", ComponentCost(0.30, 18.1)),
+    )
+    timestep_scaled_area_fraction: float = 0.125
+    timestep_scaled_power_fraction: float = 0.084
+    reference_timesteps: int = 4
+    reference_tppes: int = 16
+
+    def tppe_table(self) -> dict[str, ComponentCost]:
+        """Per-TPPE component costs as a dict."""
+        return dict(self.tppe_components)
+
+    def system_table(self) -> dict[str, ComponentCost]:
+        """System-level component costs as a dict."""
+        return dict(self.system_components)
+
+
+#: The published 32 nm cost table used when no explicit ``area`` is passed.
+DEFAULT_AREA = AreaSpec()
+
 #: Per-TPPE component costs at the default configuration (T = 4), Table IV.
-TPPE_COMPONENTS: dict[str, ComponentCost] = {
-    "accumulators": ComponentCost(2e-3, 0.16),
-    "fast_prefix": ComponentCost(0.04, 1.46),
-    "laggy_prefix": ComponentCost(5e-3, 0.32),
-    "others": ComponentCost(0.013, 0.88),
-}
+#: A genuinely read-only view of ``DEFAULT_AREA``: the cost functions no
+#: longer read this mapping (they read their ``area`` argument), so mutating
+#: it could not change any result -- the proxy makes such an attempt fail
+#: loudly.  To model a different cost table, pass ``area=AreaSpec(...)``.
+TPPE_COMPONENTS: Mapping[str, ComponentCost] = MappingProxyType(
+    DEFAULT_AREA.tppe_table()
+)
 
 #: System-level component costs at the default configuration, Table IV.
-SYSTEM_COMPONENTS: dict[str, ComponentCost] = {
-    "tppes": ComponentCost(0.96, 45.1),
-    "plifs": ComponentCost(0.02, 1.2),
-    "global_cache": ComponentCost(0.80, 124.5),
-    "others": ComponentCost(0.30, 18.1),
-}
-
-#: Fraction of the TPPE cost that scales linearly with the number of
-#: timesteps at the reference point T = 4 (Figure 16a): the correction
-#: accumulators and the packed-spike input buffer.
-_TIMESTEP_SCALED_AREA_FRACTION = 0.125
-_TIMESTEP_SCALED_POWER_FRACTION = 0.084
-_REFERENCE_TIMESTEPS = 4
+SYSTEM_COMPONENTS: Mapping[str, ComponentCost] = MappingProxyType(
+    DEFAULT_AREA.system_table()
+)
 
 
-def tppe_cost(timesteps: int = 4) -> ComponentCost:
+def tppe_cost(timesteps: int = 4, area: AreaSpec | None = None) -> ComponentCost:
     """Area / power of one TPPE configured for ``timesteps`` timesteps.
 
     Follows the Figure 16a model: a fixed portion plus a portion linear in
@@ -76,48 +128,62 @@ def tppe_cost(timesteps: int = 4) -> ComponentCost:
     """
     if timesteps < 1:
         raise ValueError("timesteps must be at least 1")
-    base = sum(TPPE_COMPONENTS.values(), ComponentCost(0.0, 0.0))
-    area_per_t = base.area_mm2 * _TIMESTEP_SCALED_AREA_FRACTION / _REFERENCE_TIMESTEPS
-    power_per_t = base.power_mw * _TIMESTEP_SCALED_POWER_FRACTION / _REFERENCE_TIMESTEPS
-    fixed_area = base.area_mm2 * (1.0 - _TIMESTEP_SCALED_AREA_FRACTION)
-    fixed_power = base.power_mw * (1.0 - _TIMESTEP_SCALED_POWER_FRACTION)
+    area = area if area is not None else DEFAULT_AREA
+    base = sum((cost for _, cost in area.tppe_components), ComponentCost(0.0, 0.0))
+    area_per_t = base.area_mm2 * area.timestep_scaled_area_fraction / area.reference_timesteps
+    power_per_t = base.power_mw * area.timestep_scaled_power_fraction / area.reference_timesteps
+    fixed_area = base.area_mm2 * (1.0 - area.timestep_scaled_area_fraction)
+    fixed_power = base.power_mw * (1.0 - area.timestep_scaled_power_fraction)
     return ComponentCost(fixed_area + area_per_t * timesteps, fixed_power + power_per_t * timesteps)
 
 
-def tppe_scaling(timesteps: int, reference_timesteps: int = 4) -> tuple[float, float]:
+def tppe_scaling(
+    timesteps: int, reference_timesteps: int | None = None, area: AreaSpec | None = None
+) -> tuple[float, float]:
     """Area and power of a TPPE at ``timesteps`` relative to the reference."""
-    current = tppe_cost(timesteps)
-    reference = tppe_cost(reference_timesteps)
+    area = area if area is not None else DEFAULT_AREA
+    if reference_timesteps is None:
+        reference_timesteps = area.reference_timesteps
+    current = tppe_cost(timesteps, area=area)
+    reference = tppe_cost(reference_timesteps, area=area)
     return current.area_mm2 / reference.area_mm2, current.power_mw / reference.power_mw
 
 
-def loas_system_cost(num_tppes: int = 16, timesteps: int = 4) -> dict[str, ComponentCost]:
+def loas_system_cost(
+    num_tppes: int = 16, timesteps: int = 4, area: AreaSpec | None = None
+) -> dict[str, ComponentCost]:
     """System-level breakdown of LoAS (Table IV left) plus the total.
 
     The global cache and miscellaneous logic are configuration-independent in
     the published table; the TPPE and P-LIF groups scale with instance count
     and timesteps.
     """
-    per_tppe = tppe_cost(timesteps)
-    reference_tppe = tppe_cost(_REFERENCE_TIMESTEPS)
-    tppe_scale = num_tppes / 16 * (per_tppe.area_mm2 / reference_tppe.area_mm2)
-    tppe_power_scale = num_tppes / 16 * (per_tppe.power_mw / reference_tppe.power_mw)
+    area = area if area is not None else DEFAULT_AREA
+    system = area.system_table()
+    per_tppe = tppe_cost(timesteps, area=area)
+    reference_tppe = tppe_cost(area.reference_timesteps, area=area)
+    tppe_scale = num_tppes / area.reference_tppes * (per_tppe.area_mm2 / reference_tppe.area_mm2)
+    tppe_power_scale = num_tppes / area.reference_tppes * (per_tppe.power_mw / reference_tppe.power_mw)
     breakdown = {
         "tppes": ComponentCost(
-            SYSTEM_COMPONENTS["tppes"].area_mm2 * tppe_scale,
-            SYSTEM_COMPONENTS["tppes"].power_mw * tppe_power_scale,
+            system["tppes"].area_mm2 * tppe_scale,
+            system["tppes"].power_mw * tppe_power_scale,
         ),
-        "plifs": SYSTEM_COMPONENTS["plifs"].scaled(num_tppes / 16 * timesteps / _REFERENCE_TIMESTEPS),
-        "global_cache": SYSTEM_COMPONENTS["global_cache"],
-        "others": SYSTEM_COMPONENTS["others"],
+        "plifs": system["plifs"].scaled(
+            num_tppes / area.reference_tppes * timesteps / area.reference_timesteps
+        ),
+        "global_cache": system["global_cache"],
+        "others": system["others"],
     }
     breakdown["total"] = sum(breakdown.values(), ComponentCost(0.0, 0.0))
     return breakdown
 
 
-def system_power_breakdown(num_tppes: int = 16, timesteps: int = 4) -> dict[str, float]:
+def system_power_breakdown(
+    num_tppes: int = 16, timesteps: int = 4, area: AreaSpec | None = None
+) -> dict[str, float]:
     """Fraction of on-chip power per system component (Figure 15 left)."""
-    breakdown = loas_system_cost(num_tppes, timesteps)
+    breakdown = loas_system_cost(num_tppes, timesteps, area=area)
     total = breakdown["total"].power_mw
     return {
         name: cost.power_mw / total
@@ -126,7 +192,8 @@ def system_power_breakdown(num_tppes: int = 16, timesteps: int = 4) -> dict[str,
     }
 
 
-def tppe_power_breakdown() -> dict[str, float]:
+def tppe_power_breakdown(area: AreaSpec | None = None) -> dict[str, float]:
     """Fraction of TPPE power per component (Figure 15 right)."""
-    total = sum(c.power_mw for c in TPPE_COMPONENTS.values())
-    return {name: cost.power_mw / total for name, cost in TPPE_COMPONENTS.items()}
+    area = area if area is not None else DEFAULT_AREA
+    total = sum(cost.power_mw for _, cost in area.tppe_components)
+    return {name: cost.power_mw / total for name, cost in area.tppe_components}

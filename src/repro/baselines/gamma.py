@@ -25,23 +25,39 @@ __all__ = ["GammaSNN", "GammaANN"]
 
 
 class GammaSNN(SimulatorBase):
-    """Gamma running a dual-sparse SNN with sequential timesteps."""
+    """Gamma running a dual-sparse SNN with sequential timesteps.
+
+    The microparameters below read the injected design point
+    (``config.arch.baseline``) instead of hard-wired class attributes, so a
+    design-space sweep moves them like any other hardware knob.
+    """
 
     name = "Gamma-SNN"
 
-    #: Radix of the on-chip merger (how many scaled rows merge per pass).
-    merger_radix = 64
-    #: Effective merge radix when running SNNs with sequential timesteps:
-    #: the per-timestep passes fragment the merge schedule, so partial output
-    #: rows bounce through the FiberCache after merging only a couple of
-    #: scaled rows instead of a full radix-64 group (this is the mechanism
-    #: behind the "t-dim enlarges the partial row traffic" observation of
-    #: Section VI-A).
-    effective_merge_radix = 2
-    #: Bytes per partial-sum element held in partial output rows.
-    psum_bytes = 2
-    #: Elements the merge pipeline retires per cycle across all PEs.
-    merge_throughput = 16.0
+    @property
+    def merger_radix(self) -> int:
+        """Radix of the on-chip merger (how many scaled rows merge per pass)."""
+        return self.arch.baseline.merger_radix
+
+    @property
+    def effective_merge_radix(self) -> int:
+        """Effective merge radix when running SNNs with sequential timesteps:
+        the per-timestep passes fragment the merge schedule, so partial output
+        rows bounce through the FiberCache after merging only a couple of
+        scaled rows instead of a full radix-64 group (this is the mechanism
+        behind the "t-dim enlarges the partial row traffic" observation of
+        Section VI-A)."""
+        return self.arch.baseline.effective_merge_radix
+
+    @property
+    def psum_bytes(self) -> int:
+        """Bytes per partial-sum element held in partial output rows."""
+        return self.arch.baseline.psum_bytes
+
+    @property
+    def merge_throughput(self) -> float:
+        """Elements the merge pipeline retires per cycle across all PEs."""
+        return self.arch.baseline.merge_throughput
 
     def simulate_layer(
         self,
@@ -146,9 +162,20 @@ class GammaANN(SimulatorBase):
 
     name = "Gamma-ANN"
 
-    merger_radix = 64
-    psum_bytes = 2
-    merge_throughput = 16.0
+    @property
+    def merger_radix(self) -> int:
+        """Radix of the on-chip merger."""
+        return self.arch.baseline.merger_radix
+
+    @property
+    def psum_bytes(self) -> int:
+        """Bytes per partial-sum element held in partial output rows."""
+        return self.arch.baseline.psum_bytes
+
+    @property
+    def merge_throughput(self) -> float:
+        """Elements the merge pipeline retires per cycle across all PEs."""
+        return self.arch.baseline.merge_throughput
 
     def simulate_layer(
         self,

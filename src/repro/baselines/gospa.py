@@ -30,17 +30,28 @@ class GoSPASNN(SimulatorBase):
 
     name = "GoSPA-SNN"
 
-    #: Bytes of the dedicated on-chip partial-sum memory.  GoSPA provisions a
-    #: small psum scratchpad; with the ``T`` extra psum matrices of an SNN it
-    #: overflows on most layers (Figure 5).
-    psum_buffer_bytes = 8 * 1024
-    #: Bytes per partial-sum element (16-bit accumulators).
-    psum_bytes = 2
-    #: Bytes moved per psum update (read-modify-write at line granularity of
-    #: the banked psum memory).
-    psum_access_bytes = 12.0
-    #: Partial-sum updates the banked psum memory can absorb per cycle.
-    psum_update_throughput = 4.0
+    @property
+    def psum_buffer_bytes(self) -> int:
+        """Bytes of the dedicated on-chip partial-sum memory.  GoSPA provisions
+        a small psum scratchpad; with the ``T`` extra psum matrices of an SNN
+        it overflows on most layers (Figure 5)."""
+        return self.arch.baseline.psum_buffer_bytes
+
+    @property
+    def psum_bytes(self) -> int:
+        """Bytes per partial-sum element (16-bit accumulators)."""
+        return self.arch.baseline.psum_bytes
+
+    @property
+    def psum_access_bytes(self) -> float:
+        """Bytes moved per psum update (read-modify-write at line granularity
+        of the banked psum memory)."""
+        return self.arch.baseline.psum_access_bytes
+
+    @property
+    def psum_update_throughput(self) -> float:
+        """Partial-sum updates the banked psum memory can absorb per cycle."""
+        return self.arch.baseline.psum_update_throughput
 
     def simulate_layer(
         self,

@@ -27,14 +27,19 @@ class PTBSimulator(SimulatorBase):
 
     name = "PTB"
 
-    #: Nominal number of timesteps one time-window column is designed for.
-    #: PTB targets long event-stream workloads (window >> 4); with only 4
-    #: timesteps per window slot the temporal lanes are under-utilised.
-    window_capacity = 16
+    @property
+    def window_capacity(self) -> int:
+        """Nominal number of timesteps one time-window column is designed for.
+        PTB targets long event-stream workloads (window >> 4); with only 4
+        timesteps per window slot the temporal lanes are under-utilised."""
+        return self.arch.baseline.window_capacity
 
     def __init__(self, config=None, array: SystolicArray | None = None):
         super().__init__(config)
-        self.array = array or SystolicArray(rows=16, cols=4)
+        baseline = self.arch.baseline
+        self.array = array or SystolicArray(
+            rows=baseline.systolic_rows, cols=baseline.systolic_cols
+        )
 
     def simulate_layer(
         self,

@@ -33,10 +33,12 @@ class SparTenSNN(SimulatorBase):
 
     name = "SparTen-SNN"
 
-    #: Extra cycles per (output neuron, timestep) for restarting the inner
-    #: join pipeline, reloading the spike-train chunk buffers and updating
-    #: the membrane potential between the sequential timestep passes.
-    per_timestep_overhead_cycles = 12
+    @property
+    def per_timestep_overhead_cycles(self) -> int:
+        """Extra cycles per (output neuron, timestep) for restarting the inner
+        join pipeline, reloading the spike-train chunk buffers and updating
+        the membrane potential between the sequential timestep passes."""
+        return self.arch.baseline.per_timestep_overhead_cycles
 
     def simulate_layer(
         self,

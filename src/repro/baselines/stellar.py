@@ -28,7 +28,10 @@ class StellarSimulator(SimulatorBase):
 
     def __init__(self, config=None, array: SystolicArray | None = None):
         super().__init__(config)
-        self.array = array or SystolicArray(rows=16, cols=4)
+        baseline = self.arch.baseline
+        self.array = array or SystolicArray(
+            rows=baseline.systolic_rows, cols=baseline.systolic_cols
+        )
 
     def simulate_layer(
         self,

@@ -37,13 +37,28 @@ DEFAULT_RNG_SEED = 0
 
 
 class SimulatorBase:
-    """Common driver logic shared by all accelerator simulators."""
+    """Common driver logic shared by all accelerator simulators.
+
+    Every simulator charges cycles, traffic and energy to one injected
+    hardware design point: ``config`` accepts a :class:`LoASConfig`, a raw
+    :class:`~repro.arch.spec.ArchSpec` or a registered preset name
+    (``"loas-32nm"``), all normalised to a :class:`LoASConfig` view.
+    """
 
     #: Human-readable accelerator name; subclasses override.
     name: str = "abstract"
 
     def __init__(self, config: LoASConfig | None = None):
-        self.config = config or LoASConfig()
+        if config is None:
+            config = LoASConfig()
+        elif not isinstance(config, LoASConfig):
+            config = LoASConfig(config)  # an ArchSpec or a preset name
+        self.config = config
+
+    @property
+    def arch(self):
+        """The :class:`~repro.arch.spec.ArchSpec` design point being modelled."""
+        return self.config.arch
 
     # ------------------------------------------------------------------ #
     # Interface implemented by subclasses

@@ -1,16 +1,33 @@
-"""LoAS hardware configuration (Table III of the paper)."""
+"""LoAS hardware configuration: a view over an :class:`~repro.arch.ArchSpec`.
+
+Historically this dataclass *owned* the Table III knobs; since the ArchSpec
+refactor it is a thin, frozen view over one
+:class:`~repro.arch.spec.ArchSpec` design point -- the single source of
+every hardware parameter -- while keeping the historical field surface
+(``config.num_tppes``, ``config.energy``, ...) so the simulators and tests
+read the same names they always did.
+
+Construction accepts the historical keyword overrides (mapped onto the spec
+through its flat addressing) as well as a design point directly::
+
+    LoASConfig()                          # the paper's Table III machine
+    LoASConfig(timesteps=8)               # historical field override
+    LoASConfig("loas-32nm-large")         # a registered preset by name
+    LoASConfig(spec)                      # an explicit ArchSpec
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..arch.energy import EnergyModel
 from ..arch.memory import DRAMModel, SRAMModel
+from ..arch.spec import ArchSpec, resolve_arch
 
 __all__ = ["LoASConfig"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, init=False)
 class LoASConfig:
     """Configuration of the LoAS accelerator and its memory system.
 
@@ -19,63 +36,128 @@ class LoASConfig:
     bitmask chunks, 16 adders in the laggy circuit), a 256 KB 16-bank global
     cache and a 128 GB/s HBM interface at 800 MHz.
 
-    Attributes
-    ----------
-    num_tppes:
-        Number of temporal-parallel processing elements.
-    timesteps:
-        Number of timesteps ``T`` the datapath is provisioned for (one
-        pseudo-accumulator plus ``T`` correction accumulators per TPPE).
-    weight_bits:
-        Bit width of the weights of matrix ``B``.
-    bitmask_chunk_bits:
-        Width of the bitmask chunk processed per prefix-sum invocation.
-    laggy_adders:
-        Number of adders in the laggy prefix-sum circuit (latency =
-        ``bitmask_chunk_bits / laggy_adders`` cycles).
-    fifo_depth:
-        Depth of the matched-position / matched-weight FIFOs.
-    weight_buffer_bytes:
-        Per-TPPE buffer holding the non-zero weights of the current fiber-B.
-    pointer_bits:
-        Width of the pointer stored after each fiber bitmask.
-    task_overhead_cycles:
-        Fixed per-output-neuron pipeline overhead (fiber hand-off, P-LIF
-        hand-off, laggy-prefix drain at the end of a fiber).
-    global_cache_bytes / cache_banks:
-        Global SRAM (FiberCache) capacity and banking.
-    dram / sram / energy:
-        Memory timing and energy sub-models.
-    clock_ghz:
-        Accelerator clock frequency.
+    The only stored state is the :class:`~repro.arch.spec.ArchSpec` design
+    point (``config.arch``); every historical field is a read-only view of
+    it.  Two configurations are equal exactly when their specs are.
+
+    One deliberate unification: the spec has a **single clock**.  The
+    pre-ArchSpec dataclass carried an independent ``dram.clock_ghz`` next to
+    ``config.clock_ghz`` (equal by default, divergible by hand); now
+    ``config.dram`` is derived from the spec's bandwidth *and* clock, so a
+    ``clock_ghz`` override moves the DRAM bytes-per-cycle with it.  A legacy
+    ``dram=DRAMModel(...)`` keyword whose clock disagrees with the spec's is
+    rejected loudly rather than silently re-clocked.
     """
 
-    num_tppes: int = 16
-    timesteps: int = 4
-    weight_bits: int = 8
-    bitmask_chunk_bits: int = 128
-    laggy_adders: int = 16
-    fifo_depth: int = 8
-    weight_buffer_bytes: int = 128
-    pointer_bits: int = 32
-    task_overhead_cycles: int = 8
-    global_cache_bytes: int = 256 * 1024
-    cache_banks: int = 16
-    clock_ghz: float = 0.8
-    dram: DRAMModel = field(default_factory=DRAMModel)
-    sram: SRAMModel = field(default_factory=SRAMModel)
-    energy: EnergyModel = field(default_factory=EnergyModel)
+    arch: ArchSpec
 
-    def __post_init__(self) -> None:
-        if self.num_tppes < 1:
-            raise ValueError("num_tppes must be at least 1")
-        if self.timesteps < 1:
-            raise ValueError("timesteps must be at least 1")
-        if self.bitmask_chunk_bits < 1:
-            raise ValueError("bitmask_chunk_bits must be at least 1")
-        if self.laggy_adders < 1:
-            raise ValueError("laggy_adders must be at least 1")
+    def __init__(self, arch=None, **overrides):
+        energy = overrides.pop("energy", None)
+        dram = overrides.pop("dram", None)
+        sram = overrides.pop("sram", None)
+        spec = resolve_arch(arch)
+        if energy is not None:
+            overrides["energy"] = energy
+        if dram is not None:
+            overrides.setdefault("dram_bandwidth_gbps", dram.bandwidth_gbps)
+        if sram is not None:
+            overrides.setdefault("global_cache_bytes", sram.capacity_bytes)
+            overrides.setdefault("cache_banks", sram.num_banks)
+            overrides.setdefault(
+                "sram_bytes_per_bank_per_cycle", sram.bytes_per_bank_per_cycle
+            )
+        if overrides:
+            spec = spec.with_overrides(**overrides)
+        if dram is not None and dram.clock_ghz != spec.clock_ghz:
+            raise ValueError(
+                "the ArchSpec has one clock (%.3g GHz) but the passed "
+                "DRAMModel assumes %.3g GHz; override clock_ghz explicitly "
+                "instead of passing a differently-clocked dram model"
+                % (spec.clock_ghz, dram.clock_ghz)
+            )
+        object.__setattr__(self, "arch", spec)
 
+    # ------------------------------------------------------------------ #
+    # Historical field surface (views over the spec)
+    # ------------------------------------------------------------------ #
+    @property
+    def num_tppes(self) -> int:
+        """Number of temporal-parallel processing elements."""
+        return self.arch.pe.num_tppes
+
+    @property
+    def timesteps(self) -> int:
+        """Number of timesteps ``T`` the datapath is provisioned for."""
+        return self.arch.pe.timesteps
+
+    @property
+    def weight_bits(self) -> int:
+        """Bit width of the weights of matrix ``B``."""
+        return self.arch.pe.weight_bits
+
+    @property
+    def bitmask_chunk_bits(self) -> int:
+        """Width of the bitmask chunk processed per prefix-sum invocation."""
+        return self.arch.pe.bitmask_chunk_bits
+
+    @property
+    def laggy_adders(self) -> int:
+        """Number of adders in the laggy prefix-sum circuit."""
+        return self.arch.pe.laggy_adders
+
+    @property
+    def fifo_depth(self) -> int:
+        """Depth of the matched-position / matched-weight FIFOs."""
+        return self.arch.pe.fifo_depth
+
+    @property
+    def weight_buffer_bytes(self) -> int:
+        """Per-TPPE buffer holding the current fiber-B non-zero weights."""
+        return self.arch.pe.weight_buffer_bytes
+
+    @property
+    def pointer_bits(self) -> int:
+        """Width of the pointer stored after each fiber bitmask."""
+        return self.arch.pe.pointer_bits
+
+    @property
+    def task_overhead_cycles(self) -> int:
+        """Fixed per-output-neuron pipeline overhead."""
+        return self.arch.pe.task_overhead_cycles
+
+    @property
+    def global_cache_bytes(self) -> int:
+        """Global SRAM (FiberCache) capacity."""
+        return self.arch.memory.global_cache_bytes
+
+    @property
+    def cache_banks(self) -> int:
+        """Global SRAM banking."""
+        return self.arch.memory.cache_banks
+
+    @property
+    def clock_ghz(self) -> float:
+        """Accelerator clock frequency."""
+        return self.arch.clock_ghz
+
+    @property
+    def dram(self) -> DRAMModel:
+        """Off-chip memory timing model derived from the spec."""
+        return self.arch.dram_model()
+
+    @property
+    def sram(self) -> SRAMModel:
+        """Banked global-SRAM timing model derived from the spec."""
+        return self.arch.sram_model()
+
+    @property
+    def energy(self) -> EnergyModel:
+        """Per-event energy constants of the design point."""
+        return self.arch.energy
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
     @property
     def laggy_latency_cycles(self) -> int:
         """Cycles the laggy prefix-sum needs per bitmask chunk."""
@@ -94,20 +176,4 @@ class LoASConfig:
 
     def with_timesteps(self, timesteps: int) -> "LoASConfig":
         """Copy of the configuration provisioned for a different ``T``."""
-        return LoASConfig(
-            num_tppes=self.num_tppes,
-            timesteps=timesteps,
-            weight_bits=self.weight_bits,
-            bitmask_chunk_bits=self.bitmask_chunk_bits,
-            laggy_adders=self.laggy_adders,
-            fifo_depth=self.fifo_depth,
-            weight_buffer_bytes=self.weight_buffer_bytes,
-            pointer_bits=self.pointer_bits,
-            task_overhead_cycles=self.task_overhead_cycles,
-            global_cache_bytes=self.global_cache_bytes,
-            cache_banks=self.cache_banks,
-            clock_ghz=self.clock_ghz,
-            dram=self.dram,
-            sram=self.sram,
-            energy=self.energy,
-        )
+        return LoASConfig(self.arch.with_overrides(**{"pe.timesteps": timesteps}))

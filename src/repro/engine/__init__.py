@@ -34,7 +34,9 @@ from .backend import (
     build_backends,
 )
 from .cache import (
+    TENSOR_COUPLED_ARCH_FIELDS,
     WorkloadEvaluationCache,
+    arch_tensor_fingerprint,
     clear_default_cache,
     default_cache,
     generator_fingerprint,
@@ -57,6 +59,8 @@ __all__ = [
     "RemoteBackend",
     "TieredCache",
     "WorkloadEvaluationCache",
+    "TENSOR_COUPLED_ARCH_FIELDS",
+    "arch_tensor_fingerprint",
     "build_backends",
     "clear_default_cache",
     "default_cache",

@@ -60,11 +60,13 @@ from .evaluation import LayerEvaluation
 __all__ = [
     "ATTACHED_TIER",
     "CacheStats",
+    "TENSOR_COUPLED_ARCH_FIELDS",
     "WorkloadEvaluationCache",
-    "default_cache",
+    "arch_tensor_fingerprint",
     "clear_default_cache",
-    "workload_fingerprint",
+    "default_cache",
     "generator_fingerprint",
+    "workload_fingerprint",
 ]
 
 #: Sentinel for :meth:`WorkloadEvaluationCache.evaluate`'s ``tiers``
@@ -94,6 +96,28 @@ def _freeze(value):
 def generator_fingerprint(rng: np.random.Generator):
     """Hashable fingerprint of a generator's exact current state."""
     return _freeze(rng.bit_generator.state)
+
+
+#: The flat :class:`~repro.arch.spec.ArchSpec` paths whose value can affect
+#: the *generated tensors* of a workload (everything else on an arch is a
+#: pure cost parameter).  Hardware design points never enter the evaluation
+#: cache key directly: when an arch-axis sweep overrides one of these fields,
+#: the plan builder couples the value into ``WorkloadSpec.timesteps``, where
+#: it joins the *workload* fingerprint below -- so a pure-cost sweep
+#: (PE counts, SRAM capacity, energy constants) over N design points reuses
+#: one cached evaluation per (layer, variant), while a timestep ablation
+#: evaluates once per timestep point, exactly as the tensors require.
+TENSOR_COUPLED_ARCH_FIELDS = ("pe.timesteps",)
+
+
+def arch_tensor_fingerprint(spec) -> tuple:
+    """The (tiny) subset of an arch spec that can affect generated tensors.
+
+    See :data:`TENSOR_COUPLED_ARCH_FIELDS`: the provisioned timestep count is
+    the only arch knob with a tensor-side twin.  Two specs with equal
+    fingerprints here may share every cached evaluation.
+    """
+    return tuple((path, spec.get(path)) for path in TENSOR_COUPLED_ARCH_FIELDS)
 
 
 def workload_fingerprint(workload: LayerWorkload, finetuned: bool = False):

@@ -16,7 +16,14 @@ Figure 16     temporal scalability                         ``run_fig16``
 Figure 17     sparsity / timestep / size scalability       ``run_fig17``
 Figure 18     dual-sparse SNN vs dual-sparse ANN           ``run_fig18``
 Figure 19     LoAS vs dense SNN accelerators               ``run_fig19``
+(DSE)         ArchSpec design-point sweeps                 ``dse-*`` scenarios
 ============  ==========================================  =======================
+
+The ``dse-*`` scenarios (:mod:`repro.experiments.dse`) go beyond the paper:
+they sweep :class:`~repro.arch.ArchSpec` hardware design points (TPPE
+counts, SRAM capacities, timestep provisioning) through the same registry
+and have no legacy ``run_*`` twins -- drive them via
+``Session.run("dse-pe-scaling", ...)`` or ``python -m repro run``.
 
 Every ``run_*`` function accepts a ``scale`` parameter (where applicable)
 that proportionally shrinks the workload dimensions while preserving the
@@ -57,6 +64,7 @@ from .performance import (
     run_fig14,
 )
 from ..runner import get_scenario, list_scenarios, run_scenario
+from .dse import dse_pe_plan, dse_sram_plan, dse_timestep_plan
 from .sweeps import (
     DEFAULT_LAYERS,
     DEFAULT_NETWORKS,
@@ -78,6 +86,9 @@ from .tables import (
 __all__ = [
     "DEFAULT_LAYERS",
     "DEFAULT_NETWORKS",
+    "dse_pe_plan",
+    "dse_sram_plan",
+    "dse_timestep_plan",
     "format_fig5",
     "format_fig11",
     "format_fig12",

@@ -1,0 +1,241 @@
+"""Design-space exploration scenarios over :class:`~repro.arch.ArchSpec` points.
+
+The paper evaluates *one* machine (Table III) plus two ablations; with
+hardware design points now declarative data, the natural next workload
+family is sweeping the machine itself.  Three registered scenarios cover the
+classic axes:
+
+* ``dse-pe-scaling``   -- LoAS cycles/energy across TPPE counts,
+* ``dse-sram-sweep``   -- traffic/energy of the capacity-sensitive models
+  across global-SRAM capacities (a **pure-cost** sweep: every design point
+  shares one cached evaluation per layer),
+* ``dse-timestep-ablation`` -- the paper's timestep ablation (Figures 16a /
+  17 middle) rebuilt on the arch axis: each point re-provisions the hardware
+  *and* re-timesteps the workload (the one tensor-coupled arch knob).
+
+All three accept ``arch`` (a preset name, default ``"loas-32nm"``) and
+``arch_overrides`` (flat ``(("group.field", value), ...)`` pairs), so the
+CLI drives them with ``--arch`` and ``--set arch.<path>=<value>``::
+
+    python -m repro run dse-pe-scaling --arch loas-32nm --scale 0.25
+    python -m repro run dse-sram-sweep --set "arch.pe.num_tppes=32"
+"""
+
+from __future__ import annotations
+
+from ..arch.area import tppe_scaling
+from ..arch.spec import DEFAULT_ARCH, normalize_overrides, resolve_arch
+from ..runner import (
+    Scenario,
+    SimulatorSpec,
+    SweepPlan,
+    WorkloadSpec,
+    register_scenario,
+)
+
+__all__ = [
+    "dse_pe_plan",
+    "dse_sram_plan",
+    "dse_timestep_plan",
+]
+
+#: TPPE counts swept by ``dse-pe-scaling`` (the paper's machine is 16).
+DEFAULT_PE_COUNTS = (4, 8, 16, 32)
+
+#: Representative layer the DSE scenarios default to.  A-L4 has the largest
+#: row dimension of the Table II layers (M = 64), so the TPPE wave schedule
+#: actually changes across the swept PE counts even at reduced scale.
+DEFAULT_DSE_LAYER = "A-L4"
+
+#: Global-SRAM capacities (KB) swept by ``dse-sram-sweep`` (paper: 256 KB).
+#: The low points sit below the default layer's spike-train working set, so
+#: the refetch/spill penalties genuinely engage.
+DEFAULT_SRAM_KB = (16, 32, 64, 128, 256)
+
+#: The capacity-sensitive models compared by ``dse-sram-sweep``.
+DEFAULT_SRAM_SIMULATORS = ("SparTen-SNN", "Gamma-SNN", "LoAS")
+
+#: Timestep points of ``dse-timestep-ablation`` (paper reference: T = 4).
+DEFAULT_DSE_TIMESTEPS = (4, 8, 16)
+
+
+def dse_pe_plan(
+    layer: str = DEFAULT_DSE_LAYER,
+    scale: float = 0.5,
+    seed: int = 1,
+    arch: str = DEFAULT_ARCH,
+    pe_counts: tuple[int, ...] = DEFAULT_PE_COUNTS,
+    arch_overrides: tuple[tuple[str, object], ...] = (),
+) -> SweepPlan:
+    """LoAS over one representative layer at every TPPE count (pure cost)."""
+    archs = tuple(
+        (arch, normalize_overrides(arch_overrides) + (("pe.num_tppes", int(count)),))
+        for count in pe_counts
+    )
+    return SweepPlan.product(
+        "dse-pe-scaling",
+        (WorkloadSpec("layer", layer, scale=scale),),
+        (SimulatorSpec("LoAS"),),
+        seeds=(seed,),
+        archs=archs,
+    )
+
+
+def _shape_dse_pe(results, **_) -> dict[str, dict[str, float]]:
+    output: dict[str, dict[str, float]] = {}
+    reference_cycles = None
+    for cell, result in results:
+        count = dict(cell.simulator.arch_overrides)["pe.num_tppes"]
+        if reference_cycles is None:
+            reference_cycles = result.cycles
+        output["PE=%d" % count] = {
+            "cycles": result.cycles,
+            "compute_cycles": result.compute_cycles,
+            "memory_cycles": result.memory_cycles,
+            "speedup_vs_first": reference_cycles / result.cycles,
+            "energy_pj": result.energy_pj,
+            "pe_utilization": result.extra.get("pe_utilization", 0.0),
+        }
+    return output
+
+
+def dse_sram_plan(
+    layer: str = DEFAULT_DSE_LAYER,
+    scale: float = 0.5,
+    seed: int = 1,
+    arch: str = DEFAULT_ARCH,
+    capacities_kb: tuple[int, ...] = DEFAULT_SRAM_KB,
+    simulators: tuple[str, ...] = DEFAULT_SRAM_SIMULATORS,
+    arch_overrides: tuple[tuple[str, object], ...] = (),
+) -> SweepPlan:
+    """Capacity-sensitive models at every global-SRAM capacity (pure cost).
+
+    All design points share one cached evaluation per (layer, variant): the
+    SRAM capacity only re-prices refetches and spills, never the tensors.
+    """
+    archs = tuple(
+        (arch, normalize_overrides(arch_overrides) + (("memory.global_cache_bytes", int(kb) * 1024),))
+        for kb in capacities_kb
+    )
+    return SweepPlan.product(
+        "dse-sram-sweep",
+        (WorkloadSpec("layer", layer, scale=scale),),
+        tuple(SimulatorSpec(name) for name in simulators),
+        seeds=(seed,),
+        archs=archs,
+    )
+
+
+def _shape_dse_sram(results, **_) -> dict[str, dict[str, dict[str, float]]]:
+    output: dict[str, dict[str, dict[str, float]]] = {}
+    for cell, result in results:
+        capacity = dict(cell.simulator.arch_overrides)["memory.global_cache_bytes"]
+        label = "SRAM=%dKB" % (capacity // 1024)
+        output.setdefault(label, {})[cell.simulator.key] = {
+            "cycles": result.cycles,
+            "offchip_kb": result.dram_bytes / 1e3,
+            "onchip_kb": result.sram_bytes / 1e3,
+            "energy_pj": result.energy_pj,
+        }
+    return output
+
+
+def dse_timestep_plan(
+    layer: str = DEFAULT_DSE_LAYER,
+    scale: float = 0.5,
+    seed: int = 1,
+    arch: str = DEFAULT_ARCH,
+    timesteps: tuple[int, ...] = DEFAULT_DSE_TIMESTEPS,
+    arch_overrides: tuple[tuple[str, object], ...] = (),
+) -> SweepPlan:
+    """LoAS at every timestep point, hardware and workload re-provisioned.
+
+    ``pe.timesteps`` is the one tensor-coupled arch field: each point gets
+    its own workload fingerprint (and hence its own evaluation), reproducing
+    the paper's ablation where both the datapath and the spike trains are
+    provisioned for ``T``.
+    """
+    archs = tuple(
+        (arch, normalize_overrides(arch_overrides) + (("pe.timesteps", int(t)),)) for t in timesteps
+    )
+    return SweepPlan.product(
+        "dse-timestep-ablation",
+        (WorkloadSpec("layer", layer, scale=scale),),
+        (SimulatorSpec("LoAS"),),
+        seeds=(seed,),
+        archs=archs,
+    )
+
+
+def _shape_dse_timesteps(
+    results, arch: str = DEFAULT_ARCH, arch_overrides=(), **_
+) -> dict[str, dict[str, float]]:
+    base = resolve_arch(arch, arch_overrides)
+    output: dict[str, dict[str, float]] = {}
+    reference_cycles = None
+    for cell, result in results:
+        t = cell.workload.timesteps
+        if reference_cycles is None:
+            reference_cycles = result.cycles
+        area_ratio, power_ratio = tppe_scaling(t, area=base.area)
+        output["T=%d" % t] = {
+            "cycles": result.cycles,
+            "relative_performance": reference_cycles / result.cycles,
+            "energy_pj": result.energy_pj,
+            "tppe_area_ratio": area_ratio,
+            "tppe_power_ratio": power_ratio,
+        }
+    return output
+
+
+register_scenario(
+    Scenario(
+        name="dse-pe-scaling",
+        description="DSE: LoAS cycles/energy across TPPE counts (pure-cost arch sweep)",
+        build=dse_pe_plan,
+        shape=_shape_dse_pe,
+        defaults=(
+            ("layer", DEFAULT_DSE_LAYER),
+            ("scale", 0.5),
+            ("seed", 1),
+            ("arch", DEFAULT_ARCH),
+            ("pe_counts", DEFAULT_PE_COUNTS),
+            ("arch_overrides", ()),
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="dse-sram-sweep",
+        description="DSE: traffic/energy across global-SRAM capacities (pure-cost arch sweep)",
+        build=dse_sram_plan,
+        shape=_shape_dse_sram,
+        defaults=(
+            ("layer", DEFAULT_DSE_LAYER),
+            ("scale", 0.5),
+            ("seed", 1),
+            ("arch", DEFAULT_ARCH),
+            ("capacities_kb", DEFAULT_SRAM_KB),
+            ("simulators", DEFAULT_SRAM_SIMULATORS),
+            ("arch_overrides", ()),
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="dse-timestep-ablation",
+        description="DSE: the paper's timestep ablation (hardware + workload re-provisioned)",
+        build=dse_timestep_plan,
+        shape=_shape_dse_timesteps,
+        defaults=(
+            ("layer", DEFAULT_DSE_LAYER),
+            ("scale", 0.5),
+            ("seed", 1),
+            ("arch", DEFAULT_ARCH),
+            ("timesteps", DEFAULT_DSE_TIMESTEPS),
+            ("arch_overrides", ()),
+        ),
+    )
+)

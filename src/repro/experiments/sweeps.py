@@ -14,6 +14,8 @@ payloads.
 from __future__ import annotations
 
 from ..api.session import _legacy_shim_warning, default_session
+from ..arch.spec import resolve_arch
+from ..core import LoASConfig
 from ..runner import (
     Scenario,
     SimulatorSpec,
@@ -60,18 +62,39 @@ def snn_accelerators(config=None) -> dict[str, object]:
     return {spec.label: spec.build(config) for spec in SNN_SIMULATORS}
 
 
+def _shared_config(config, arch, arch_overrides):
+    """Resolve the plan-level hardware configuration.
+
+    ``arch`` / ``arch_overrides`` name an :class:`~repro.arch.ArchSpec`
+    design point shared by every cell of the plan (result labels stay the
+    historical accelerator names); passing both an explicit ``config`` and
+    an ``arch`` is ambiguous and rejected.
+    """
+    if arch is None and not arch_overrides:
+        return config
+    if config is not None:
+        raise ValueError("pass either config or arch/arch_overrides, not both")
+    return LoASConfig(resolve_arch(arch, arch_overrides))
+
+
 def network_sweep_plan(
     networks: tuple[str, ...] = DEFAULT_NETWORKS,
     scale: float = 1.0,
     seed: int = 1,
     include_finetuned: bool = True,
     config=None,
+    arch=None,
+    arch_overrides=(),
 ) -> SweepPlan:
     """Declarative Figure 12/13 sweep: every accelerator x every network."""
     simulators = SNN_SIMULATORS + ((LOAS_FINETUNED,) if include_finetuned else ())
     workloads = tuple(WorkloadSpec("network", name, scale=scale) for name in networks)
     return SweepPlan.product(
-        "networks", workloads, simulators, seeds=(seed,), config=config
+        "networks",
+        workloads,
+        simulators,
+        seeds=(seed,),
+        config=_shared_config(config, arch, arch_overrides),
     )
 
 
@@ -80,11 +103,17 @@ def layer_sweep_plan(
     scale: float = 1.0,
     seed: int = 1,
     config=None,
+    arch=None,
+    arch_overrides=(),
 ) -> SweepPlan:
     """Declarative Figure 14 sweep: every accelerator x representative layer."""
     workloads = tuple(WorkloadSpec("layer", name, scale=scale) for name in layers)
     return SweepPlan.product(
-        "layers", workloads, SNN_SIMULATORS, seeds=(seed,), config=config
+        "layers",
+        workloads,
+        SNN_SIMULATORS,
+        seeds=(seed,),
+        config=_shared_config(config, arch, arch_overrides),
     )
 
 
@@ -149,6 +178,8 @@ register_scenario(
             ("seed", 1),
             ("include_finetuned", True),
             ("config", None),
+            ("arch", None),
+            ("arch_overrides", ()),
         ),
     )
 )
@@ -164,6 +195,8 @@ register_scenario(
             ("scale", 1.0),
             ("seed", 1),
             ("config", None),
+            ("arch", None),
+            ("arch_overrides", ()),
         ),
     )
 )

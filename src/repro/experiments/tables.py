@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..api.session import _legacy_shim_warning, default_session
-from ..arch.area import loas_system_cost, system_power_breakdown, tppe_power_breakdown, TPPE_COMPONENTS
+from ..arch.area import loas_system_cost, system_power_breakdown, tppe_power_breakdown
 from ..baselines.capabilities import TABLE1_CAPABILITIES
 from ..metrics.report import format_table
 from ..runner import Scenario, register_scenario
@@ -123,16 +123,32 @@ def format_table2(scale: float = 0.25, seed: int = 0) -> str:
 # --------------------------------------------------------------------- #
 # Table IV / Figure 15 -- area and power breakdown
 # --------------------------------------------------------------------- #
-def _table4_area_power(num_tppes: int = 16, timesteps: int = 4) -> dict[str, dict[str, float]]:
-    """System and TPPE area / power breakdown plus the Figure 15 fractions."""
-    system = loas_system_cost(num_tppes=num_tppes, timesteps=timesteps)
+def _table4_area_power(
+    num_tppes: int | None = None,
+    timesteps: int | None = None,
+    arch: str = "loas-32nm",
+    arch_overrides=(),
+) -> dict[str, dict[str, float]]:
+    """System and TPPE area / power breakdown plus the Figure 15 fractions.
+
+    The cost tables and default provisioning come from the ``arch`` design
+    point (its :class:`~repro.arch.AreaSpec`); ``num_tppes`` / ``timesteps``
+    override the spec's provisioning when given explicitly.
+    """
+    from ..arch.spec import resolve_arch
+
+    spec = resolve_arch(arch, arch_overrides)
+    num_tppes = spec.pe.num_tppes if num_tppes is None else num_tppes
+    timesteps = spec.pe.timesteps if timesteps is None else timesteps
+    system = loas_system_cost(num_tppes=num_tppes, timesteps=timesteps, area=spec.area)
+    tppe_components = spec.area.tppe_table()
     return {
         "system_area_mm2": {name: cost.area_mm2 for name, cost in system.items()},
         "system_power_mw": {name: cost.power_mw for name, cost in system.items()},
-        "tppe_area_mm2": {name: cost.area_mm2 for name, cost in TPPE_COMPONENTS.items()},
-        "tppe_power_mw": {name: cost.power_mw for name, cost in TPPE_COMPONENTS.items()},
-        "system_power_fraction": system_power_breakdown(num_tppes, timesteps),
-        "tppe_power_fraction": tppe_power_breakdown(),
+        "tppe_area_mm2": {name: cost.area_mm2 for name, cost in tppe_components.items()},
+        "tppe_power_mw": {name: cost.power_mw for name, cost in tppe_components.items()},
+        "system_power_fraction": system_power_breakdown(num_tppes, timesteps, area=spec.area),
+        "tppe_power_fraction": tppe_power_breakdown(area=spec.area),
     }
 
 
@@ -183,7 +199,12 @@ register_scenario(
         name="table4-area-power",
         description="Table IV / Figure 15: area and power breakdown",
         run=_table4_area_power,
-        defaults=(("num_tppes", 16), ("timesteps", 4)),
+        defaults=(
+            ("num_tppes", None),
+            ("timesteps", None),
+            ("arch", "loas-32nm"),
+            ("arch_overrides", ()),
+        ),
     )
 )
 

@@ -3,9 +3,11 @@
 The runner subsystem splits every paper sweep into three layers:
 
 * a **scenario layer** (:mod:`repro.runner.scenario`) declaring sweeps as
-  data -- :class:`WorkloadSpec` x :class:`SimulatorSpec` x seeds composed
-  into a :class:`SweepPlan`, and a registry of named :class:`Scenario`
-  entries covering every figure and table of the paper,
+  data -- :class:`WorkloadSpec` x :class:`SimulatorSpec` x seeds (and,
+  via ``SweepPlan.product(archs=...)``, x hardware design points from the
+  :class:`repro.arch.ArchSpec` layer) composed into a :class:`SweepPlan`,
+  and a registry of named :class:`Scenario` entries covering every figure
+  and table of the paper plus the ``dse-*`` design-space sweeps,
 * an **execution layer** (:mod:`repro.runner.executor`) -- the
   :class:`SweepRunner` partitions a plan into independent cells, runs them
   serially or across a ``multiprocessing`` pool, and batches network walks

@@ -27,6 +27,13 @@ from collections import OrderedDict
 from dataclasses import dataclass, replace as dataclass_replace
 from typing import Callable, Iterable, Mapping
 
+from ..arch.spec import (
+    ArchSpec,
+    arch_label,
+    get_arch_spec,
+    normalize_overrides,
+    resolve_arch,
+)
 from ..baselines import (
     GammaSNN,
     GoSPASNN,
@@ -35,6 +42,7 @@ from ..baselines import (
     StellarSimulator,
 )
 from ..core import LoASConfig, LoASSimulator
+from ..engine import TENSOR_COUPLED_ARCH_FIELDS
 from ..snn.workloads import (
     LayerWorkload,
     NetworkWorkload,
@@ -154,6 +162,19 @@ class SimulatorSpec:
     config_timesteps:
         Re-provision the hardware configuration for a different ``T`` via
         ``LoASConfig.with_timesteps`` (Figure 17's timestep sweep).
+    arch:
+        Hardware design point the simulator is built over: a registered
+        :class:`~repro.arch.spec.ArchSpec` preset name (``"loas-32nm"``) or
+        an explicit spec.  ``None`` (the default) keeps the historical
+        behaviour -- the plan-level ``config`` or the Table III defaults.
+        Preset names are resolved to their spec **at declaration**: the cell
+        then carries the full design point, so worker processes (including
+        ``spawn``-context ones, whose fresh interpreters only know the
+        shipped presets) never consult the preset registry.
+    arch_overrides:
+        Flat ``(("group.field", value), ...)`` replacements applied to the
+        resolved ``arch`` (see :meth:`ArchSpec.with_overrides`); an arch
+        axis built by :meth:`SweepPlan.product` lands here.
     """
 
     key: str
@@ -161,6 +182,8 @@ class SimulatorSpec:
     finetuned: bool = False
     kwargs: tuple[tuple[str, object], ...] = ()
     config_timesteps: int | None = None
+    arch: object = None
+    arch_overrides: tuple[tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
         if self.key not in SIMULATOR_FACTORIES:
@@ -170,12 +193,130 @@ class SimulatorSpec:
             )
         if not self.label:
             object.__setattr__(self, "label", self.key)
+        object.__setattr__(self, "arch_overrides", normalize_overrides(self.arch_overrides))
+        if isinstance(self.arch, str):
+            # Resolve at declaration: unknown presets fail here, and the
+            # cell becomes self-contained for cross-process shipping.
+            object.__setattr__(self, "arch", get_arch_spec(self.arch))
+        elif self.arch is not None and not isinstance(self.arch, ArchSpec):
+            raise TypeError(
+                "arch must be None, a preset name or an ArchSpec, got %r"
+                % (self.arch,)
+            )
+
+    def resolve_arch(self) -> ArchSpec | None:
+        """The fully-resolved design point (``None`` when the spec has none)."""
+        if self.arch is None and not self.arch_overrides:
+            return None
+        return resolve_arch(self.arch, self.arch_overrides)
 
     def build(self, config=None):
-        """Instantiate the simulator (optionally over a shared config)."""
+        """Instantiate the simulator (optionally over a shared config).
+
+        A cell-level ``arch`` wins over the plan-level ``config``; the
+        historical ``config_timesteps`` re-provisioning applies on top of
+        either.
+        """
+        spec = self.resolve_arch()
+        if spec is not None:
+            config = LoASConfig(spec)
         if self.config_timesteps is not None:
             config = (config or LoASConfig()).with_timesteps(self.config_timesteps)
         return SIMULATOR_FACTORIES[self.key](config)
+
+
+@dataclass(frozen=True)
+class _ArchPoint:
+    """One resolved point of a design-space axis (see ``SweepPlan.product``)."""
+
+    arch: object
+    overrides: tuple[tuple[str, object], ...]
+    label: str
+    #: ``pe.timesteps`` when the point moves it -- the one arch knob that
+    #: must re-timestep the workload (tensor coupling).
+    workload_timesteps: int | None
+    #: The fully-resolved spec (base arch + overrides).
+    resolved: object = None
+
+    def apply(self, simulator: SimulatorSpec) -> SimulatorSpec:
+        """The simulator spec pinned to this design point."""
+        return dataclass_replace(
+            simulator,
+            arch=self.arch,
+            arch_overrides=self.overrides,
+            label="%s@%s" % (simulator.label, self.label),
+        )
+
+    def couple_workload(self, workload: WorkloadSpec) -> WorkloadSpec:
+        """Re-timestep the workload when the point overrides ``pe.timesteps``."""
+        if self.workload_timesteps is None:
+            return workload
+        return dataclass_replace(workload, timesteps=self.workload_timesteps)
+
+
+def _coerce_arch_point(point) -> _ArchPoint:
+    """Normalise one ``archs=`` axis entry (see ``SweepPlan.product``)."""
+    if isinstance(point, (tuple, list)):
+        if len(point) != 2:
+            raise ValueError(
+                "an arch point pair must be (arch, overrides), got %r" % (point,)
+            )
+        arch, overrides = point
+    else:
+        arch, overrides = point, ()
+    overrides = normalize_overrides(overrides)
+    base = resolve_arch(arch)
+    resolved = resolve_arch(arch, overrides)  # validates preset names and paths
+    # Coupling is decided by *values*, not override spelling: any override
+    # that moves a tensor-coupled field (dotted path, bare name or a whole
+    # pe=PESpec(...) replacement) re-timesteps the workload.
+    workload_timesteps = None
+    for path in TENSOR_COUPLED_ARCH_FIELDS:
+        if resolved.get(path) != base.get(path):
+            workload_timesteps = resolved.get(path)
+    return _ArchPoint(
+        arch=arch,
+        overrides=overrides,
+        label=arch_label(arch, overrides),
+        workload_timesteps=workload_timesteps,
+        resolved=resolved,
+    )
+
+
+def _normalize_arch_points(archs) -> tuple[_ArchPoint, ...]:
+    """Coerce an ``archs=`` axis, enforcing coupling and distinct labels.
+
+    Two whole-axis rules live here rather than per point:
+
+    * **heterogeneous timesteps couple everywhere** -- when the resolved
+      points disagree on a tensor-coupled field (e.g. two presets
+      provisioned for different ``pe.timesteps``), every point re-timesteps
+      its workload, however the value was spelled.  An axis whose points all
+      agree leaves workloads alone (running a T=4 workload on T=8-provisioned
+      hardware is legitimate and stays a pure-cost sweep).
+    * **labels are de-duplicated** -- distinct :class:`ArchSpec` instances
+      can share a ``name``; colliding labels get a ``#<ordinal>`` suffix so
+      per-label result addressing (``nested()``) never collapses points.
+    """
+    points = [_coerce_arch_point(point) for point in archs]
+    for path in TENSOR_COUPLED_ARCH_FIELDS:
+        values = {point.resolved.get(path) for point in points}
+        if len(values) > 1:
+            points = [
+                dataclass_replace(point, workload_timesteps=point.resolved.get(path))
+                for point in points
+            ]
+    seen: dict[str, int] = {}
+    unique: list[_ArchPoint] = []
+    for point in points:
+        ordinal = seen.get(point.label, 0)
+        seen[point.label] = ordinal + 1
+        unique.append(
+            point
+            if ordinal == 0
+            else dataclass_replace(point, label="%s#%d" % (point.label, ordinal + 1))
+        )
+    return tuple(unique)
 
 
 @dataclass(frozen=True)
@@ -215,12 +356,46 @@ class SweepPlan:
         seeds: Iterable[int] = (0,),
         config=None,
         tag: str = "",
+        archs: Iterable | None = None,
     ) -> "SweepPlan":
-        """Cartesian plan: every workload x every seed x every simulator."""
+        """Cartesian plan: every workload x every seed x every simulator.
+
+        ``archs`` adds a **hardware design-point axis**: each point is a
+        preset name, an :class:`~repro.arch.spec.ArchSpec`, or an
+        ``(arch, overrides)`` pair whose overrides are flat
+        ``"group.field"`` replacements.  Every simulator is replicated per
+        point (labels suffixed ``"@<arch label>"`` so results stay
+        addressable), and the point's arch travels in the cell -- **not** in
+        the evaluation cache key, so all points of one ``(workload, seed)``
+        partition share a single cached evaluation per layer.  The one
+        exception is the tensor-coupled fields
+        (:data:`repro.engine.TENSOR_COUPLED_ARCH_FIELDS`): a point that
+        overrides ``pe.timesteps`` also re-timesteps the workload, putting
+        the value into the workload fingerprint exactly because it changes
+        the generated tensors.
+        """
+        workloads = tuple(workloads)
+        simulators = tuple(simulators)
+        seeds = tuple(seeds)
+        if archs is None:
+            cells = tuple(
+                SweepCell(workload, simulator, seed, tag)
+                for workload in workloads
+                for seed in seeds
+                for simulator in simulators
+            )
+            return cls(name=name, cells=cells, config=config)
+        points = _normalize_arch_points(archs)
         cells = tuple(
-            SweepCell(workload, simulator, seed, tag)
+            SweepCell(
+                point.couple_workload(workload),
+                point.apply(simulator),
+                seed,
+                tag,
+            )
             for workload in workloads
             for seed in seeds
+            for point in points
             for simulator in simulators
         )
         return cls(name=name, cells=cells, config=config)

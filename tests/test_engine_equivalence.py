@@ -280,6 +280,50 @@ class TestCacheSemantics:
         assert workload_fingerprint(base) == workload_fingerprint(renamed)
         assert workload_fingerprint(base) != workload_fingerprint(resized)
 
+    def test_design_points_never_enter_the_cache_key(self):
+        # Hardware design points are pure cost parameters: simulating one
+        # workload on arbitrarily many archs shares a single evaluation,
+        # and the evaluation object handed to each simulator is identical.
+        from repro.arch import default_arch
+        from repro.core import LoASSimulator
+
+        cache = WorkloadEvaluationCache()
+        workload = self._workload()
+        evaluations = []
+        for overrides in (
+            {},
+            {"pe.num_tppes": 4},
+            {"memory.global_cache_bytes": 32 * 1024},
+            {"energy.dram_per_byte": 10.0},
+        ):
+            spec = default_arch().with_overrides(**overrides)
+            LoASSimulator(spec)  # arch construction must not touch the key
+            evaluations.append(cache.evaluate(workload, np.random.default_rng(3)))
+        assert cache.misses == 1
+        assert cache.hits == len(evaluations) - 1
+        assert all(evaluation is evaluations[0] for evaluation in evaluations)
+
+    def test_simulation_on_shared_evaluation_reprices_costs_only(self, tiny_workload):
+        # Two design points, one evaluation: the cost models read the same
+        # tensors and statistics but charge them to different constants.
+        from repro.arch import default_arch
+        from repro.core import LoASSimulator
+
+        default_cache().clear()
+        rng_a = np.random.default_rng(4)
+        rng_b = np.random.default_rng(4)
+        baseline = LoASSimulator().simulate_workload(tiny_workload, rng=rng_a)
+        cheap_dram = default_arch().with_overrides(**{"energy.dram_per_byte": 6.0})
+        repriced = LoASSimulator(cheap_dram).simulate_workload(tiny_workload, rng=rng_b)
+        assert default_cache().misses == 1 and default_cache().hits == 1
+        # identical activity counts, traffic and cycles; energy re-priced
+        assert repriced.cycles == baseline.cycles
+        assert repriced.ops == baseline.ops
+        assert repriced.dram.as_dict() == baseline.dram.as_dict()
+        assert repriced.energy.entries["dram"] == pytest.approx(
+            baseline.energy.entries["dram"] * 6.0 / 60.0
+        )
+
     def test_lru_eviction(self):
         cache = WorkloadEvaluationCache(maxsize=2)
         workloads = [self._workload(m=m) for m in (4, 5, 6)]

@@ -250,6 +250,40 @@ class TestSweepEquivalence:
         actual = run_networks(NETWORKS, scale=SCALE, seed=SEED, include_finetuned=False)
         assert_sweeps_identical(reference, actual)
 
+    @pytest.mark.parametrize("workers", [None, 2])
+    def test_networks_under_explicit_default_arch_match_legacy(self, workers):
+        # Pinning every cell to the default ArchSpec -- by preset name or by
+        # explicit spec -- must not move a single bit of any payload.
+        from dataclasses import replace as dataclass_replace
+
+        from repro.arch import default_arch
+        from repro.experiments.sweeps import network_sweep_plan
+
+        reference = legacy_run_networks()
+        for arch in ("loas-32nm", default_arch()):
+            plan = network_sweep_plan(NETWORKS, scale=SCALE, seed=SEED)
+            pinned = SweepPlan(
+                plan.name,
+                tuple(
+                    dataclass_replace(
+                        cell, simulator=dataclass_replace(cell.simulator, arch=arch)
+                    )
+                    for cell in plan.cells
+                ),
+                plan.config,
+            )
+            actual = SweepRunner(workers=workers).run(pinned).nested()
+            assert_sweeps_identical(reference, actual)
+
+    def test_networks_arch_parameter_default_is_bit_identical(self):
+        reference = legacy_run_networks()
+        actual = run_networks(NETWORKS, scale=SCALE, seed=SEED)
+        via_arch = run_scenario(
+            "networks", networks=NETWORKS, scale=SCALE, seed=SEED, arch="loas-32nm"
+        )
+        assert_sweeps_identical(reference, actual)
+        assert_sweeps_identical(reference, via_arch)
+
 
 class TestExperimentEquivalence:
     @pytest.mark.parametrize("workers", [None, 2])

@@ -57,6 +57,29 @@ class TestCommonHelpers:
         factor = streaming_refetch_factor(1000, 500, 1000, passes=3)
         assert 1.0 < factor < 3.0
 
+    def test_streaming_refetch_zero_byte_operand(self):
+        # A zero-byte operand can never need refetching, whatever the
+        # capacity pressure.
+        assert streaming_refetch_factor(0, 1000, 100, passes=10) == 1.0
+        assert streaming_refetch_factor(-1.0, 1000, 100, passes=10) == 1.0
+
+    def test_streaming_refetch_single_pass_never_refetches(self):
+        assert streaming_refetch_factor(1000, 1000, 100, passes=1) == 1.0
+        assert streaming_refetch_factor(1000, 1000, 100, passes=0) == 1.0
+
+    def test_streaming_refetch_zero_leftover_capacity(self):
+        # Residents consume the whole SRAM: every pass re-fetches the full
+        # operand, so the factor equals the pass count exactly.
+        assert streaming_refetch_factor(500, 1000, 1000, passes=7) == pytest.approx(7.0)
+        # Over-subscribed residents behave the same (leftover clamps at 0).
+        assert streaming_refetch_factor(500, 2000, 1000, passes=7) == pytest.approx(7.0)
+
+    def test_streaming_refetch_exact_fit_boundary(self):
+        # The operand exactly fills the leftover capacity: still one fetch.
+        assert streaming_refetch_factor(500, 500, 1000, passes=4) == 1.0
+        # One byte over the leftover starts interpolating above 1.
+        assert streaming_refetch_factor(501, 500, 1000, passes=4) > 1.0
+
     def test_collect_layer_statistics(self, small_layer):
         spikes, weights = small_layer
         stats = collect_layer_statistics(spikes, weights)
@@ -95,6 +118,42 @@ class TestSimulatorBase:
             SimulatorBase.grouped_wave_cycles(np.zeros(3), 2)
         with pytest.raises(ValueError):
             SimulatorBase.grouped_wave_cycles(np.zeros((2, 2)), 0)
+
+    def test_roofline_zero_byte_transfers_cost_nothing(self):
+        base = SimulatorBase(LoASConfig())
+        cycles, memory = base.roofline_cycles(123.0, 0.0, 0.0)
+        assert memory == 0.0
+        assert cycles == pytest.approx(123.0)
+
+    def test_roofline_memory_bound_crossover(self):
+        # At 160 B/cycle DRAM bandwidth, 160_000 bytes take exactly the
+        # 1000 compute cycles: the regimes cross there.
+        base = SimulatorBase(LoASConfig())
+        at_crossover, memory = base.roofline_cycles(1000.0, 160_000.0, 0.0)
+        assert memory == pytest.approx(1000.0)
+        assert at_crossover == pytest.approx(1000.0)
+        compute_bound, _ = base.roofline_cycles(1000.0, 159_840.0, 0.0)
+        assert compute_bound == pytest.approx(1000.0)  # compute hides memory
+        memory_bound, memory = base.roofline_cycles(1000.0, 160_160.0, 0.0)
+        assert memory_bound == pytest.approx(memory) == pytest.approx(1001.0)
+
+    def test_roofline_takes_the_slower_of_dram_and_sram(self):
+        # 256 B/cycle SRAM vs 160 B/cycle DRAM: equal byte counts stress
+        # DRAM harder, so it sets the memory bound.
+        base = SimulatorBase(LoASConfig())
+        _, memory = base.roofline_cycles(0.0, 160_000.0, 160_000.0)
+        assert memory == pytest.approx(1000.0)
+        _, sram_only = base.roofline_cycles(0.0, 0.0, 256_000.0)
+        assert sram_only == pytest.approx(1000.0)
+
+    def test_roofline_reads_the_injected_design_point(self):
+        # Halving the DRAM bandwidth doubles the memory bound.
+        from repro.arch import default_arch
+
+        halved = default_arch().with_overrides(**{"memory.dram_bandwidth_gbps": 64.0})
+        base = SimulatorBase(LoASConfig(halved))
+        _, memory = base.roofline_cycles(0.0, 160_000.0, 0.0)
+        assert memory == pytest.approx(2000.0)
 
 
 @pytest.mark.parametrize("simulator_cls", ALL_SNN_SIMULATORS)
