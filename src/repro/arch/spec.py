@@ -291,6 +291,15 @@ class ArchSpec:
             if group is None:
                 top[field_name] = value
             elif field_name is None:
+                # A bare group name replaces the whole sub-spec; anything
+                # else (e.g. ``pe=8`` meaning ``pe.num_tppes``) would build
+                # a broken spec whose failure surfaces far from here.
+                current = getattr(self, group)
+                if not isinstance(value, type(current)):
+                    raise TypeError(
+                        "replacing arch group %r takes a %s, got %r"
+                        % (group, type(current).__name__, value)
+                    )
                 top[group] = value
             else:
                 grouped.setdefault(group, {})[field_name] = value

@@ -81,6 +81,20 @@ def dse_pe_plan(
     )
 
 
+def _unique_key(taken, base: str) -> str:
+    """First of ``base``, ``base#2``, ``base#3``... for which ``taken`` is false.
+
+    Payload rows are keyed by the swept override *value*, so a duplicated
+    axis point would silently overwrite its twin; this mirrors the ``#<n>``
+    label de-duplication the plan layer applies to arch points.
+    """
+    key, ordinal = base, 1
+    while taken(key):
+        ordinal += 1
+        key = "%s#%d" % (base, ordinal)
+    return key
+
+
 def _shape_dse_pe(results, **_) -> dict[str, dict[str, float]]:
     output: dict[str, dict[str, float]] = {}
     reference_cycles = None
@@ -88,7 +102,7 @@ def _shape_dse_pe(results, **_) -> dict[str, dict[str, float]]:
         count = dict(cell.simulator.arch_overrides)["pe.num_tppes"]
         if reference_cycles is None:
             reference_cycles = result.cycles
-        output["PE=%d" % count] = {
+        output[_unique_key(output.__contains__, "PE=%d" % count)] = {
             "cycles": result.cycles,
             "compute_cycles": result.compute_cycles,
             "memory_cycles": result.memory_cycles,
@@ -130,7 +144,10 @@ def _shape_dse_sram(results, **_) -> dict[str, dict[str, dict[str, float]]]:
     output: dict[str, dict[str, dict[str, float]]] = {}
     for cell, result in results:
         capacity = dict(cell.simulator.arch_overrides)["memory.global_cache_bytes"]
-        label = "SRAM=%dKB" % (capacity // 1024)
+        label = _unique_key(
+            lambda key: cell.simulator.key in output.get(key, {}),
+            "SRAM=%dKB" % (capacity // 1024),
+        )
         output.setdefault(label, {})[cell.simulator.key] = {
             "cycles": result.cycles,
             "offchip_kb": result.dram_bytes / 1e3,
@@ -174,11 +191,16 @@ def _shape_dse_timesteps(
     output: dict[str, dict[str, float]] = {}
     reference_cycles = None
     for cell, result in results:
+        # An axis whose every point matches the base preset's T never
+        # re-timesteps the workload (no tensor coupling); the point's value
+        # then lives only on the resolved design point.
         t = cell.workload.timesteps
+        if t is None:
+            t = (cell.simulator.resolve_arch() or base).pe.timesteps
         if reference_cycles is None:
             reference_cycles = result.cycles
         area_ratio, power_ratio = tppe_scaling(t, area=base.area)
-        output["T=%d" % t] = {
+        output[_unique_key(output.__contains__, "T=%d" % t)] = {
             "cycles": result.cycles,
             "relative_performance": reference_cycles / result.cycles,
             "energy_pj": result.energy_pj,

@@ -269,11 +269,14 @@ def _coerce_arch_point(point) -> _ArchPoint:
     resolved = resolve_arch(arch, overrides)  # validates preset names and paths
     # Coupling is decided by *values*, not override spelling: any override
     # that moves a tensor-coupled field (dotted path, bare name or a whole
-    # pe=PESpec(...) replacement) re-timesteps the workload.
+    # pe=PESpec(...) replacement) re-timesteps the workload.  The coupling
+    # channel is WorkloadSpec.timesteps, so only pe.timesteps can ride it;
+    # the unpacking fails loudly if a second tensor-coupled field is ever
+    # added without growing its own channel here.
+    (timesteps_path,) = TENSOR_COUPLED_ARCH_FIELDS
     workload_timesteps = None
-    for path in TENSOR_COUPLED_ARCH_FIELDS:
-        if resolved.get(path) != base.get(path):
-            workload_timesteps = resolved.get(path)
+    if resolved.get(timesteps_path) != base.get(timesteps_path):
+        workload_timesteps = resolved.get(timesteps_path)
     return _ArchPoint(
         arch=arch,
         overrides=overrides,
@@ -299,13 +302,14 @@ def _normalize_arch_points(archs) -> tuple[_ArchPoint, ...]:
       per-label result addressing (``nested()``) never collapses points.
     """
     points = [_coerce_arch_point(point) for point in archs]
-    for path in TENSOR_COUPLED_ARCH_FIELDS:
-        values = {point.resolved.get(path) for point in points}
-        if len(values) > 1:
-            points = [
-                dataclass_replace(point, workload_timesteps=point.resolved.get(path))
-                for point in points
-            ]
+    (timesteps_path,) = TENSOR_COUPLED_ARCH_FIELDS
+    if len({point.resolved.get(timesteps_path) for point in points}) > 1:
+        points = [
+            dataclass_replace(
+                point, workload_timesteps=point.resolved.get(timesteps_path)
+            )
+            for point in points
+        ]
     seen: dict[str, int] = {}
     unique: list[_ArchPoint] = []
     for point in points:

@@ -74,6 +74,12 @@ class TestArchSpecAddressing:
         spec = default_arch().with_overrides(pe=pe)
         assert spec.pe is pe
 
+    def test_whole_group_replacement_rejects_non_spec_values(self):
+        # ``pe=8`` (user means pe.num_tppes) must fail at the override
+        # site, not deep inside simulator construction.
+        with pytest.raises(TypeError, match="replacing arch group 'pe'"):
+            default_arch().with_overrides(pe=8)
+
     def test_unknown_keys_rejected(self):
         with pytest.raises(KeyError):
             default_arch().with_overrides(**{"pe.no_such_field": 1})
@@ -402,6 +408,29 @@ class TestDesignSpaceScenarioShapes:
                 payload["SRAM=%dKB" % kb][simulator]["offchip_kb"] for kb in capacities
             ]
             assert offchip == sorted(offchip, reverse=True), simulator
+
+    def test_timestep_ablation_at_base_preset_t(self):
+        # A point whose T equals the base preset's never re-timesteps the
+        # workload (cell.workload.timesteps stays None); the shaper must
+        # fall back to the resolved design point instead of crashing.
+        session = Session()
+        payload = session.run("dse-timestep-ablation", scale=0.1, timesteps=(4,)).payload
+        assert set(payload) == {"T=4"}
+        assert payload["T=4"]["relative_performance"] == pytest.approx(1.0)
+
+    def test_duplicate_axis_points_keep_distinct_rows(self):
+        # Rows are keyed by the swept value, so duplicated points must pick
+        # up the same #<n> suffix the plan layer gives their labels instead
+        # of silently overwriting each other.
+        session = Session()
+        pe = session.run("dse-pe-scaling", scale=0.1, pe_counts=(16, 16)).payload
+        assert set(pe) == {"PE=16", "PE=16#2"}
+        assert pe["PE=16"] == pe["PE=16#2"]
+        sram = session.run(
+            "dse-sram-sweep", scale=0.1, capacities_kb=(16, 16), simulators=("LoAS",)
+        ).payload
+        assert set(sram) == {"SRAM=16KB", "SRAM=16KB#2"}
+        assert sram["SRAM=16KB"] == sram["SRAM=16KB#2"]
 
     def test_timestep_ablation_reports_fig16a_ratios(self):
         session = Session()
